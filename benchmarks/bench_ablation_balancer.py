@@ -1,0 +1,59 @@
+"""Ablation — load-balancing policy (DESIGN.md ablation index).
+
+Compares the paper's system-size-sensitive packing against static
+round-robin and fixed-count packing on the heterogeneous spike
+workload: makespan and per-node variation quantify how much of Fig. 8
+and Fig. 10's quality comes from the policy itself.
+"""
+
+from repro.hpc import ORISE, simulate_qf_run
+from repro.hpc.balancer import (
+    FixedPackPolicy,
+    RoundRobinPolicy,
+    SystemSizeSensitivePolicy,
+)
+
+from conftest import save_result
+
+
+def test_balancer_policy_ablation(
+    benchmark, spike_strong_scaling_workload, orise_protein_cost
+):
+    sizes = spike_strong_scaling_workload
+    cm = orise_protein_cost
+    n_nodes = 750  # ~24 pieces/leader: packing and end-game decay both active
+    policies = {
+        "size_sensitive(waves=4)": SystemSizeSensitivePolicy(waves=4.0),
+        "size_sensitive(waves=1.5)": SystemSizeSensitivePolicy(waves=1.5),
+        "fixed_pack(8)": FixedPackPolicy(count=8),
+        "fixed_pack(1)": FixedPackPolicy(count=1),
+        "round_robin_static": RoundRobinPolicy(),
+    }
+
+    def run():
+        out = {}
+        for name, policy in policies.items():
+            rep = simulate_qf_run(ORISE, n_nodes, sizes, cm, policy=policy,
+                                  seed=0, job_noise=0.02)
+            out[name] = {
+                "makespan": rep.makespan,
+                "variation": rep.time_variation(),
+                "events": rep.events,
+            }
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = res["size_sensitive(waves=4)"]["makespan"]
+    print(f"\nbalancer ablation on {n_nodes} nodes (relative makespan):")
+    for name, r in res.items():
+        lo, hi = r["variation"]
+        print(f"  {name:<26} {r['makespan'] / base:6.3f}x"
+              f"  var ({lo:+.1f}, {hi:+.1f})%  events {r['events']}")
+    save_result("ablation_balancer", {
+        k: {"makespan": v["makespan"], "variation": list(v["variation"])}
+        for k, v in res.items()
+    })
+    # the paper's policy must beat the static baseline
+    assert base <= res["round_robin_static"]["makespan"]
+    # and packing must cut master traffic versus one-fragment tasks
+    assert res["size_sensitive(waves=4)"]["events"] < res["fixed_pack(1)"]["events"]

@@ -1,0 +1,65 @@
+"""Ablation — elastic batching parameters (§V-C, §VII-A.3).
+
+The paper packs >=64 GEMMs per workload with a stride of 32. This
+bench sweeps both knobs on the *real* batched executor (wall time of
+stacked numpy matmuls — the same pack-for-throughput effect the
+accelerators rely on) and on the offload model (padding overhead vs
+batch uniformity).
+"""
+
+import time
+
+import numpy as np
+
+from repro.kernels.batched import BatchedGemmExecutor
+
+from conftest import save_result
+
+
+def _workload(rng, n=512):
+    """Scattered small GEMMs with the paper's size spread."""
+    mats = []
+    for _ in range(n):
+        m = int(rng.integers(20, 70))
+        k = int(rng.integers(20, 70))
+        mats.append((rng.normal(size=(m, k)), rng.normal(size=(k, 24))))
+    return mats
+
+
+def test_offload_batching_sweep(benchmark):
+    rng = np.random.default_rng(0)
+    mats = _workload(rng)
+
+    def run():
+        out = {}
+        for stride in (8, 32, 64):
+            for min_batch in (4, 64, 10_000):
+                ex = BatchedGemmExecutor(stride=stride, min_batch=min_batch)
+                for a, b in mats:
+                    ex.submit(a, b)
+                t0 = time.perf_counter()
+                ex.flush()
+                dt = time.perf_counter() - t0
+                out[(stride, min_batch)] = {
+                    "seconds": dt,
+                    "batches": ex.batches_executed,
+                    "singles": ex.singles_executed,
+                    "padding": ex.padding_overhead(),
+                }
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nelastic batching sweep (512 scattered GEMMs):")
+    for (stride, mb), r in sorted(res.items()):
+        print(f"  stride={stride:<3} min_batch={mb:<6}: {r['seconds'] * 1e3:7.1f} ms"
+              f"  batches={r['batches']:<3} singles={r['singles']:<4}"
+              f"  padding x{r['padding']:.2f}")
+    save_result("ablation_offload", {
+        f"{s}_{m}": r for (s, m), r in res.items()
+    })
+    # stride 32 groups far more calls than stride 8 (fewer shape classes)
+    assert res[(32, 4)]["batches"] <= res[(8, 4)]["batches"]
+    # padding grows with stride
+    assert res[(64, 4)]["padding"] >= res[(32, 4)]["padding"] - 1e-9
+    # never-batch mode runs every GEMM individually
+    assert res[(32, 10_000)]["singles"] == 512

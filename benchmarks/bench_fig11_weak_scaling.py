@@ -1,0 +1,129 @@
+"""Fig. 11 — weak scaling: workload doubles with node count.
+
+Paper values:
+  ORISE water dimer: 2,406.3 → 4,772.2 → 9,546.6 → 18,445.1 frag/s
+                     (efficiencies 99.1 / 99.1 / 99.0 %)
+  ORISE protein:     93.2 frag/s base; efficiencies 99.8 / 99.4 / 99.3 %
+  Sunway mixed:      1,661.3 → 3,324.3 → 6,626.9 → 13,239.8 frag/s
+                     (100.0 / 99.7 / 99.6 %)
+
+Fragment counts are scaled down 16x (the per-leader load — which sets
+the efficiency — is preserved by scaling nodes and fragments together
+at the paper's ratio).
+"""
+
+import numpy as np
+
+from repro.hpc import ORISE, SUNWAY, simulate_qf_run
+from repro.hpc.costmodel import calibrate_to_throughput, paper_calibrated_cost_model
+
+from conftest import save_result
+
+SCALE = 16
+PAPER_WATER_TPUT = {750: 2406.3, 1500: 4772.2, 3000: 9546.6, 6000: 18445.1}
+PAPER_PROTEIN_EFF = {1500: 99.8, 3000: 99.4, 6000: 99.3}
+PAPER_SUNWAY_TPUT = {12000: 1661.3, 24000: 3324.3, 48000: 6626.9, 96000: 13239.8}
+
+
+def _weak_run(machine, node_counts, base_sizes, cm=None, costs_fn=None, seed=0):
+    out = {}
+    for i, n in enumerate(node_counts):
+        reps = 2 ** i
+        sizes = np.tile(base_sizes, reps)
+        kwargs = {}
+        if costs_fn is not None:
+            kwargs["leader_costs"] = costs_fn(sizes)
+        else:
+            kwargs["cost_model"] = cm
+        rep = simulate_qf_run(machine, n // SCALE, sizes, seed=seed, **kwargs)
+        # rescale throughput back to paper node counts
+        out[n] = rep.throughput * SCALE
+    return out
+
+
+def test_fig11_orise_water(benchmark):
+    base = np.full(3_343_536 // SCALE, 6)
+    cm = paper_calibrated_cost_model("water_dimer", "ORISE")
+    tput = benchmark.pedantic(
+        lambda: _weak_run(ORISE, [750, 1500, 3000, 6000], base, cm=cm),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    print("\nFig11 ORISE water-dimer weak scaling (fragments/s):")
+    base_eff = tput[750] / PAPER_WATER_TPUT[750]
+    for n, t in tput.items():
+        eff = 100.0 * t / (tput[750] * n / 750)
+        rows.append({"nodes": n, "measured": t, "paper": PAPER_WATER_TPUT[n],
+                     "efficiency": eff})
+        print(f"  {n:>5}: measured {t:9.1f}  paper {PAPER_WATER_TPUT[n]:9.1f}"
+              f"  eff {eff:6.1f}%")
+    save_result("fig11_orise_water", {"rows": rows})
+    assert abs(tput[750] - PAPER_WATER_TPUT[750]) / PAPER_WATER_TPUT[750] < 0.10
+    for n in (1500, 3000, 6000):
+        eff = 100.0 * tput[n] / (tput[750] * n / 750)
+        assert eff > 95.0
+
+
+def test_fig11_orise_protein(benchmark, spike_strong_scaling_workload):
+    rng = np.random.default_rng(11)
+    base = rng.choice(spike_strong_scaling_workload, size=88_800 // SCALE)
+    cm = calibrate_to_throughput(base, 93.2, 750, 31)
+    tput = benchmark.pedantic(
+        lambda: _weak_run(ORISE, [750, 1500, 3000, 6000], base, cm=cm),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    print("\nFig11 ORISE protein weak scaling (paper base 93.2 frag/s):")
+    for n, t in tput.items():
+        eff = 100.0 * t / (tput[750] * n / 750)
+        rows.append({"nodes": n, "measured": t, "efficiency": eff,
+                     "paper_eff": PAPER_PROTEIN_EFF.get(n)})
+        print(f"  {n:>5}: {t:8.1f} frag/s  eff {eff:6.1f}%"
+              f"  (paper eff {PAPER_PROTEIN_EFF.get(n, '—')})")
+    save_result("fig11_orise_protein", {"rows": rows})
+    assert abs(tput[750] - 93.2) / 93.2 < 0.10
+    for n in (1500, 3000, 6000):
+        eff = 100.0 * tput[n] / (tput[750] * n / 750)
+        assert eff > 95.0
+
+
+def test_fig11_sunway_mixed(benchmark):
+    rng = np.random.default_rng(12)
+    n_base = 4_151_294 // SCALE
+    protein = rng.integers(9, 36, size=n_base // 20)
+    waters = np.full(n_base - protein.size, 6)
+    base = np.concatenate([protein, waters])
+    workers = SUNWAY.workers_per_leader
+    cm_p = paper_calibrated_cost_model("protein", "Sunway")
+    cm_w = paper_calibrated_cost_model("water_dimer", "Sunway")
+
+    def costs_fn(sizes):
+        return np.where(
+            sizes > 6,
+            cm_p.leader_time(sizes, workers),
+            cm_w.leader_time(sizes, workers),
+        )
+
+    # anchor the mixed run so 12,000 nodes give the paper's 1,661.3 frag/s
+    factor = (12000.0 / 1661.3) / costs_fn(base).mean()
+
+    tput = benchmark.pedantic(
+        lambda: _weak_run(
+            SUNWAY, [12000, 24000, 48000, 96000], base,
+            costs_fn=lambda s: costs_fn(s) * factor,
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    print("\nFig11 Sunway mixed weak scaling (fragments/s):")
+    for n, t in tput.items():
+        eff = 100.0 * t / (tput[12000] * n / 12000)
+        rows.append({"nodes": n, "measured": t, "paper": PAPER_SUNWAY_TPUT[n],
+                     "efficiency": eff})
+        print(f"  {n:>6}: measured {t:9.1f}  paper {PAPER_SUNWAY_TPUT[n]:9.1f}"
+              f"  eff {eff:6.1f}%")
+    save_result("fig11_sunway_mixed", {"rows": rows})
+    assert abs(tput[12000] - PAPER_SUNWAY_TPUT[12000]) / PAPER_SUNWAY_TPUT[12000] < 0.10
+    for n in (24000, 48000, 96000):
+        eff = 100.0 * tput[n] / (tput[12000] * n / 12000)
+        assert eff > 95.0

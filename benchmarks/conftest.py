@@ -1,0 +1,57 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table/figure of the paper and prints a
+paper-vs-measured comparison; the rows are also dumped as JSON under
+``benchmarks/output/`` so EXPERIMENTS.md can cite exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def save_result(name: str, payload: dict) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def default(o):
+        if isinstance(o, (np.integer,)):
+            return int(o)
+        if isinstance(o, (np.floating,)):
+            return float(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        raise TypeError(type(o))
+
+    (OUTPUT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=default)
+    )
+
+
+@pytest.fixture(scope="session")
+def spike_strong_scaling_workload():
+    """The ~18k-piece spike decomposition used by Fig. 8/10 (sizes 9-35
+    as stated for the ORISE protein runs)."""
+    from repro.fragment.bookkeeping import synthetic_fragment_size_distribution
+
+    rng = np.random.default_rng(3)
+    frag = np.clip(synthetic_fragment_size_distribution(3180, seed=1), 9, 35)
+    caps = np.clip((frag * 0.55).astype(int), 9, 28)
+    gcs = rng.integers(12, 30, size=11394)
+    return np.concatenate([frag, caps, gcs])
+
+
+@pytest.fixture(scope="session")
+def orise_protein_cost(spike_strong_scaling_workload):
+    """Cost model anchored so 750 ORISE nodes hit the paper's 93.2
+    fragments/s on the spike workload."""
+    from repro.hpc.costmodel import calibrate_to_throughput
+
+    return calibrate_to_throughput(
+        spike_strong_scaling_workload, 93.2, 750, 31
+    )

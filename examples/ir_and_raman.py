@@ -1,0 +1,60 @@
+"""IR + Raman together (extension; ~1 min).
+
+The displacement loop produces the dipole derivative dμ/dR alongside
+dα/dR at negligible extra cost, so both spectra come from one pass —
+with depolarization ratios as the third observable. Water's three
+modes illustrate the complementarity: the bend is the strongest IR
+band, the symmetric stretch dominates the Raman spectrum.
+
+Run:  python examples/ir_and_raman.py
+"""
+
+import numpy as np
+
+from repro import fragment_response, water_molecule
+from repro.scf.optimize import optimize_geometry
+from repro.spectra.ir import ir_spectrum_dense
+from repro.spectra.modes import normal_modes_projected
+from repro.spectra.raman import (
+    depolarization_ratios,
+    mass_weighted_dalpha,
+    raman_spectrum_dense,
+)
+
+
+def main() -> None:
+    opt = optimize_geometry(water_molecule(), eri_mode="df")
+    resp = fragment_response(opt.geometry, eri_mode="df",
+                             compute_raman=True, compute_ir=True)
+    masses = opt.geometry.masses
+    omega = np.linspace(500, 5000, 900)
+
+    raman = raman_spectrum_dense(resp.hessian, resp.dalpha_dr, masses, omega,
+                                 sigma_cm1=20.0)
+    ir = ir_spectrum_dense(resp.hessian, resp.dmu_dr, masses, omega,
+                           sigma_cm1=20.0)
+
+    # per-mode table with depolarization ratios
+    modes = normal_modes_projected(resp.hessian, masses, opt.geometry.coords)
+    d_xi = mass_weighted_dalpha(resp.dalpha_dr, masses)
+    dq = np.einsum("cij,cp->pij", d_xi, modes.eigenvectors)
+    rho = depolarization_ratios(dq)
+
+    print("mode   freq/cm^-1   Raman act.   IR int.   depol. ratio")
+    vib = modes.vibrational()
+    r_act = dict(zip(np.round(raman.frequencies_cm1, 1), raman.activities))
+    i_act = dict(zip(np.round(ir.frequencies_cm1, 1), ir.activities))
+    for p in vib:
+        f = round(float(modes.frequencies_cm1[p]), 1)
+        print(f"{p:>4}   {f:>9.1f}   {r_act.get(f, 0.0):>9.3f}"
+              f"   {i_act.get(f, 0.0):>8.4f}   {rho[p]:>7.3f}")
+
+    print("\nstrongest IR band:   "
+          f"{ir.frequencies_cm1[np.argmax(ir.activities)]:.0f} cm^-1 (bend)")
+    print("strongest Raman band: "
+          f"{raman.frequencies_cm1[np.argmax(raman.activities)]:.0f} cm^-1 "
+          "(symmetric stretch)")
+
+
+if __name__ == "__main__":
+    main()

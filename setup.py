@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no `wheel` package, so
+PEP-517 editable installs (which shell out to `bdist_wheel`) fail.
+Keeping a setup.py lets `pip install -e .` take the legacy
+`setup.py develop` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""QF-RAMAN reproduction: quantum-fragmentation Raman spectra with a
+simulated extreme-scale HPC substrate.
+
+Reproduces "Pushing the Limit of Quantum Mechanical Simulation to the
+Raman Spectra of a Biological System with 100 Million Atoms" (SC 2024).
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+
+Subpackages:
+
+- :mod:`repro.geometry`  — structures (proteins, water boxes, solvation)
+- :mod:`repro.basis` / :mod:`repro.integrals` — Gaussian basis + integrals
+- :mod:`repro.scf` / :mod:`repro.dfpt` — SCF, gradients, response theory
+- :mod:`repro.fragment`  — the QF decomposition and Eq. (1) assembly
+- :mod:`repro.spectra`   — normal modes, Lanczos + GAGQ Raman solver
+- :mod:`repro.kernels`   — strength-reduced / batched compute kernels
+- :mod:`repro.hpc`       — machine models, scheduler + offload simulation
+- :mod:`repro.pipeline`  — the end-to-end driver
+- :mod:`repro.analysis`  — peaks, band assignment, reference spectra
+"""
+
+__version__ = "1.0.0"
+
+from repro.geometry import Geometry, build_polypeptide, water_box, water_molecule
+from repro.pipeline import QFRamanPipeline
+from repro.scf import RHF
+from repro.scf.rks import RKS
+from repro.dfpt import fragment_response, polarizability
+from repro.fragment import decompose_system
+from repro.spectra import normal_modes, raman_spectrum_dense, raman_spectrum_lanczos
+from repro.hpc import ORISE, SUNWAY, simulate_qf_run
+
+__all__ = [
+    "Geometry",
+    "build_polypeptide",
+    "water_box",
+    "water_molecule",
+    "QFRamanPipeline",
+    "RHF",
+    "RKS",
+    "fragment_response",
+    "polarizability",
+    "decompose_system",
+    "normal_modes",
+    "raman_spectrum_dense",
+    "raman_spectrum_lanczos",
+    "ORISE",
+    "SUNWAY",
+    "simulate_qf_run",
+]

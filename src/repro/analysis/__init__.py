@@ -1,0 +1,27 @@
+"""Spectral analysis: peak detection, band assignment, comparisons.
+
+Fig. 12's evaluation is qualitative — do the characteristic bands
+appear at the right positions with sensible relative intensities?
+This package makes that check programmatic: reference band tables
+(from the paper's discussion of the experimental spectra), peak
+pickers, and similarity metrics between computed and reference
+spectra.
+"""
+
+from repro.analysis.peaks import Peak, find_peaks
+from repro.analysis.reference import (
+    PROTEIN_BANDS,
+    WATER_BANDS,
+    reference_spectrum,
+)
+from repro.analysis.compare import band_assignment, spectral_overlap
+
+__all__ = [
+    "Peak",
+    "find_peaks",
+    "PROTEIN_BANDS",
+    "WATER_BANDS",
+    "reference_spectrum",
+    "band_assignment",
+    "spectral_overlap",
+]

@@ -1,0 +1,48 @@
+"""Computed-vs-reference spectral comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.peaks import Peak, find_peaks
+
+
+def spectral_overlap(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two spectra on a common grid (0..1)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        return 0.0
+    return float(a @ b / (na * nb))
+
+
+def band_assignment(
+    omega_cm1: np.ndarray,
+    intensity: np.ndarray,
+    bands: list[tuple[str, float, float, float]],
+    frequency_scale: float = 1.0,
+    tolerance_cm1: float = 120.0,
+) -> dict[str, dict]:
+    """Match computed peaks to named reference bands.
+
+    ``frequency_scale`` is applied to the computed axis first (harmonic
+    HF frequencies are systematically high). Returns per-band matches:
+    ``{name: {"expected": .., "found": .. or None, "error": ..}}``.
+    """
+    scaled = np.asarray(omega_cm1, dtype=float) * frequency_scale
+    peaks = find_peaks(scaled, np.asarray(intensity, dtype=float))
+    out: dict[str, dict] = {}
+    for (name, center, _width, _height) in bands:
+        best: Peak | None = None
+        for p in peaks:
+            if abs(p.position_cm1 - center) <= tolerance_cm1:
+                if best is None or p.height > best.height:
+                    best = p
+        out[name] = {
+            "expected_cm1": center,
+            "found_cm1": None if best is None else best.position_cm1,
+            "error_cm1": None if best is None else best.position_cm1 - center,
+            "height": None if best is None else best.height,
+        }
+    return out

@@ -1,0 +1,63 @@
+"""Peak detection on broadened spectra."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Peak:
+    position_cm1: float
+    height: float
+    prominence: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Peak({self.position_cm1:.0f} cm-1, h={self.height:.3g})"
+
+
+def find_peaks(
+    omega_cm1: np.ndarray,
+    intensity: np.ndarray,
+    min_height_fraction: float = 0.02,
+    min_separation_cm1: float = 20.0,
+) -> list[Peak]:
+    """Local maxima above a relative height, with prominence.
+
+    ``min_height_fraction`` is relative to the global maximum;
+    peaks closer than ``min_separation_cm1`` keep only the taller one.
+    """
+    omega = np.asarray(omega_cm1, dtype=float)
+    y = np.asarray(intensity, dtype=float)
+    if omega.shape != y.shape:
+        raise ValueError("omega/intensity mismatch")
+    if y.size < 3:
+        return []
+    ymax = float(y.max())
+    if ymax <= 0:
+        return []
+    idx = np.where((y[1:-1] > y[:-2]) & (y[1:-1] >= y[2:]))[0] + 1
+    idx = idx[y[idx] >= min_height_fraction * ymax]
+    peaks: list[Peak] = []
+    for i in idx:
+        # prominence: drop to the higher of the two flanking minima
+        left = y[: i + 1]
+        right = y[i:]
+        lmin = float(left[np.argmax(left[::-1] > y[i]) :].min()) if np.any(
+            left > y[i]
+        ) else float(left.min())
+        rmin = float(right[: np.argmax(right > y[i]) or None].min()) if np.any(
+            right > y[i]
+        ) else float(right.min())
+        prom = y[i] - max(lmin, rmin)
+        peaks.append(Peak(float(omega[i]), float(y[i]), float(prom)))
+    # enforce separation, keep taller
+    peaks.sort(key=lambda p: -p.height)
+    kept: list[Peak] = []
+    for p in peaks:
+        if all(abs(p.position_cm1 - q.position_cm1) >= min_separation_cm1
+               for q in kept):
+            kept.append(p)
+    kept.sort(key=lambda p: p.position_cm1)
+    return kept

@@ -1,0 +1,13 @@
+"""Gaussian basis sets.
+
+The paper's engine (FHI-aims) uses numeric atom-centered orbitals; our
+substitute uses contracted Gaussians (STO-3G) because their integrals
+have closed forms implementable from scratch (see DESIGN.md). The shell
+structure (s and sp shells per atom) mirrors a minimal NAO "light"
+setting in size.
+"""
+
+from repro.basis.gaussian import BasisSet, Shell, build_basis
+from repro.basis.sto3g import STO3G
+
+__all__ = ["BasisSet", "Shell", "build_basis", "STO3G"]

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the example workflows so the main results are
+reproducible without writing a script:
+
+    python -m repro water-raman --n 4
+    python -m repro peptide-raman --sequence GLY ALA
+    python -m repro simulate --machine ORISE --nodes 750 1500 3000
+    python -m repro counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_water_raman(args) -> int:
+    from repro.analysis import WATER_BANDS, band_assignment
+    from repro.analysis.reference import RHF_STO3G_FREQUENCY_SCALE
+    from repro.geometry import water_box
+    from repro.pipeline import QFRamanPipeline
+
+    pipe = QFRamanPipeline(
+        waters=water_box(args.n, seed=args.seed), relax_waters=True,
+        verbose=args.verbose,
+    )
+    omega = np.linspace(200, 5200, 1000)
+    result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
+                      solver=args.solver)
+    sp = result.spectrum.normalized()
+    print(f"pieces: {result.decomposition.counts} "
+          f"(unique: {result.unique_pieces})")
+    for name, info in band_assignment(
+        sp.omega_cm1, sp.intensity, WATER_BANDS,
+        frequency_scale=RHF_STO3G_FREQUENCY_SCALE,
+    ).items():
+        found = info["found_cm1"]
+        print(f"  {name:<12} expect {info['expected_cm1']:6.0f}  "
+              + (f"found {found:6.0f}" if found else "not found"))
+    if args.out:
+        np.savetxt(args.out, np.column_stack([sp.omega_cm1, sp.intensity]),
+                   header="omega_cm1 intensity")
+        print(f"spectrum written to {args.out}")
+    return 0
+
+
+def _cmd_peptide_raman(args) -> int:
+    from repro.analysis import PROTEIN_BANDS, band_assignment
+    from repro.analysis.reference import RHF_STO3G_FREQUENCY_SCALE
+    from repro.geometry import build_polypeptide
+    from repro.pipeline import QFRamanPipeline
+    from repro.scf.optimize import optimize_geometry
+
+    geom, residues = build_polypeptide(args.sequence)
+    opt = optimize_geometry(geom, eri_mode="df")
+    pipe = QFRamanPipeline(protein=opt.geometry, residues=residues,
+                           verbose=args.verbose)
+    omega = np.linspace(200, 5200, 1200)
+    result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
+                      solver=args.solver)
+    sp = result.spectrum.normalized()
+    for name, info in band_assignment(
+        sp.omega_cm1, sp.intensity, PROTEIN_BANDS,
+        frequency_scale=RHF_STO3G_FREQUENCY_SCALE,
+    ).items():
+        found = info["found_cm1"]
+        print(f"  {name:<20} expect {info['expected_cm1']:6.0f}  "
+              + (f"found {found:6.0f}" if found else "not found"))
+    if args.out:
+        np.savetxt(args.out, np.column_stack([sp.omega_cm1, sp.intensity]),
+                   header="omega_cm1 intensity")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.fragment.bookkeeping import synthetic_fragment_size_distribution
+    from repro.hpc import ORISE, SUNWAY, simulate_qf_run
+    from repro.hpc.costmodel import calibrate_to_throughput
+
+    machine = {"ORISE": ORISE, "SUNWAY": SUNWAY}[args.machine.upper()]
+    rng = np.random.default_rng(3)
+    frag = np.clip(synthetic_fragment_size_distribution(3180, seed=1), 9, 35)
+    caps = np.clip((frag * 0.55).astype(int), 9, 28)
+    gcs = rng.integers(12, 30, size=11394)
+    sizes = np.concatenate([frag, caps, gcs])
+    cm = calibrate_to_throughput(sizes, 93.2, args.nodes[0],
+                                 machine.workers_per_leader)
+    base = None
+    for n in args.nodes:
+        rep = simulate_qf_run(machine, n, sizes, cm, seed=0, job_noise=0.02)
+        lo, hi = rep.time_variation()
+        eff = ""
+        if base is None:
+            base = rep
+        else:
+            eff = (f"  eff {100 * base.makespan * args.nodes[0] / (rep.makespan * n):5.1f}%")
+        print(f"{machine.name} {n:>6} nodes: {rep.throughput:9.1f} frag/s"
+              f"  var ({lo:+.1f}, {hi:+.1f})%{eff}")
+    return 0
+
+
+def _cmd_counts(args) -> int:
+    from repro.fragment.bookkeeping import (
+        spike_paper_reference,
+        system_statistics,
+    )
+    from repro.geometry import spike_like_protein
+
+    protein, residues = spike_like_protein(args.residues, seed=0)
+    n_chains = 3 if args.residues == 3180 else 1
+    stats = system_statistics(
+        protein, residues, n_waters=(101_299_008 - 49_008) // 3,
+        n_chains=n_chains,
+    )
+    ref = spike_paper_reference()
+    for key, val in stats.as_dict().items():
+        print(f"  {key:<22} {val:>15,.0f}   (paper: {ref.get(key, '—')})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="QF-RAMAN reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("water-raman", help="Raman spectrum of a water box")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--sigma", type=float, default=20.0)
+    p.add_argument("--solver", choices=("dense", "lanczos"), default="lanczos")
+    p.add_argument("--out", default=None)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_water_raman)
+
+    p = sub.add_parser("peptide-raman", help="gas-phase peptide Raman spectrum")
+    p.add_argument("--sequence", nargs="+", default=["GLY"])
+    p.add_argument("--sigma", type=float, default=5.0)
+    p.add_argument("--solver", choices=("dense", "lanczos"), default="dense")
+    p.add_argument("--out", default=None)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_peptide_raman)
+
+    p = sub.add_parser("simulate", help="scheduler simulation on a machine")
+    p.add_argument("--machine", choices=("ORISE", "SUNWAY", "orise", "sunway"),
+                   default="ORISE")
+    p.add_argument("--nodes", type=int, nargs="+", default=[750, 1500, 3000])
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("counts", help="full-scale decomposition statistics")
+    p.add_argument("--residues", type=int, default=3180)
+    p.set_defaults(fn=_cmd_counts)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Physical constants and unit conversions (CODATA 2018).
+
+All internal quantities are in Hartree atomic units unless stated
+otherwise: energies in hartree, lengths in bohr, masses in electron
+masses (except atomic masses, tabulated in unified amu and converted
+explicitly where needed).
+"""
+
+from __future__ import annotations
+
+# --- length ---------------------------------------------------------------
+BOHR_TO_ANGSTROM: float = 0.529177210903
+ANGSTROM_TO_BOHR: float = 1.0 / BOHR_TO_ANGSTROM
+
+# --- energy ---------------------------------------------------------------
+HARTREE_TO_EV: float = 27.211386245988
+HARTREE_TO_KCALMOL: float = 627.5094740631
+HARTREE_TO_CM1: float = 219474.63136320  # hartree -> wavenumber (cm^-1)
+
+# --- mass -----------------------------------------------------------------
+AMU_TO_AU: float = 1822.888486209  # unified amu -> electron masses
+
+# --- misc -----------------------------------------------------------------
+SPEED_OF_LIGHT_AU: float = 137.035999084  # 1/alpha
+FINE_STRUCTURE: float = 1.0 / SPEED_OF_LIGHT_AU
+
+#: conversion factor: sqrt(hartree / (bohr^2 * amu)) -> cm^-1.
+#: For a mass-weighted Hessian in hartree/(bohr^2 amu), the angular
+#: eigenfrequency omega = sqrt(lambda) and the wavenumber is
+#: ``sqrt(lambda) * HESSIAN_TO_CM1``.
+HESSIAN_TO_CM1: float = HARTREE_TO_CM1 / (AMU_TO_AU ** 0.5)
+
+# Atomic numbers for the elements used by the biological systems here.
+ELEMENT_NUMBERS: dict[str, int] = {
+    "H": 1, "He": 2, "Li": 3, "Be": 4, "B": 5, "C": 6, "N": 7, "O": 8,
+    "F": 9, "Ne": 10, "Na": 11, "Mg": 12, "Al": 13, "Si": 14, "P": 15,
+    "S": 16, "Cl": 17, "Ar": 18, "K": 19, "Ca": 20, "Fe": 26, "Zn": 30,
+}
+
+ELEMENT_SYMBOLS: dict[int, str] = {v: k for k, v in ELEMENT_NUMBERS.items()}
+
+#: Standard atomic weights (amu), most-abundant-isotope-weighted.
+ATOMIC_MASSES: dict[str, float] = {
+    "H": 1.00782503207, "He": 4.002602, "Li": 6.94, "Be": 9.0121831,
+    "B": 10.81, "C": 12.0, "N": 14.0030740048, "O": 15.9949146196,
+    "F": 18.998403163, "Ne": 20.1797, "Na": 22.98976928, "Mg": 24.305,
+    "Al": 26.9815385, "Si": 28.085, "P": 30.973761998, "S": 31.97207100,
+    "Cl": 34.96885268, "Ar": 39.948, "K": 39.0983, "Ca": 40.078,
+    "Fe": 55.845, "Zn": 65.38,
+}
+
+#: Covalent radii in angstrom (Cordero et al. 2008), used for bond
+#: perception and hydrogen capping.
+COVALENT_RADII: dict[str, float] = {
+    "H": 0.31, "He": 0.28, "Li": 1.28, "Be": 0.96, "B": 0.84, "C": 0.76,
+    "N": 0.71, "O": 0.66, "F": 0.57, "Ne": 0.58, "Na": 1.66, "Mg": 1.41,
+    "Al": 1.21, "Si": 1.11, "P": 1.07, "S": 1.05, "Cl": 1.02, "Ar": 1.06,
+    "K": 2.03, "Ca": 1.76, "Fe": 1.32, "Zn": 1.22,
+}
+
+
+def mass_of(symbol: str) -> float:
+    """Return the atomic mass (amu) of an element symbol.
+
+    Raises ``KeyError`` with a helpful message for unknown elements.
+    """
+    try:
+        return ATOMIC_MASSES[symbol]
+    except KeyError:
+        raise KeyError(
+            f"no tabulated mass for element {symbol!r}; "
+            f"known: {sorted(ATOMIC_MASSES)}"
+        ) from None
+
+
+def number_of(symbol: str) -> int:
+    """Return the atomic number of an element symbol."""
+    try:
+        return ELEMENT_NUMBERS[symbol]
+    except KeyError:
+        raise KeyError(
+            f"unknown element symbol {symbol!r}; known: {sorted(ELEMENT_NUMBERS)}"
+        ) from None

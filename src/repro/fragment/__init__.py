@@ -1,0 +1,44 @@
+"""Quantum Fragmentation (QF) — the paper's core algorithm.
+
+Decomposes a solvated protein into MFCC pieces (paper §IV-A, Eq. 1):
+
+* per-residue fragments  Cap*_{k-1} a_k Cap_{k+1}  (caps are the
+  neighboring residues, hydrogen-capped at the outer cuts),
+* conjugate-cap corrections  Cap*_k Cap_{k+1}  subtracted to cancel
+  double counting,
+* one water fragment per solvent molecule,
+* generalized concaps: two-body corrections  E_ij - E_i - E_j  for
+  residue-residue, residue-water, and water-water pairs whose minimal
+  atom distance is within the threshold λ (4 Å in the paper).
+
+Second derivatives (Hessian) and polarizability derivatives assemble
+linearly over pieces with the same ± signs as the energy.
+"""
+
+from repro.fragment.fragmenter import (
+    QFDecomposition,
+    QFPiece,
+    decompose_protein,
+    decompose_system,
+    decompose_waters,
+)
+from repro.fragment.assembly import (
+    AssembledResponse,
+    assemble_energy,
+    assemble_response,
+    assemble_sparse_hessian,
+)
+from repro.fragment.bookkeeping import system_statistics
+
+__all__ = [
+    "QFDecomposition",
+    "QFPiece",
+    "decompose_protein",
+    "decompose_system",
+    "decompose_waters",
+    "AssembledResponse",
+    "assemble_energy",
+    "assemble_response",
+    "assemble_sparse_hessian",
+    "system_statistics",
+]

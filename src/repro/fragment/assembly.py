@@ -1,0 +1,128 @@
+"""Assembly of global properties from QF piece results (paper Eq. 1).
+
+Every piece carries a coefficient ``sign * multiplicity``; energies,
+gradients, Hessians, and polarizability derivatives are plain signed
+sums over pieces, with piece-atom rows mapped to global coordinates
+through ``atom_map``. Rows belonging to artificial cap hydrogens
+(``atom_map == -1``) are dropped — their contributions cancel to the
+MFCC approximation order between fragments and concaps.
+
+For very large systems the assembled Hessian is block-sparse (nonzeros
+only inside pieces); :func:`assemble_sparse_hessian` builds the
+scipy CSR operator consumed by the Lanczos/GAGQ solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse
+
+from repro.dfpt.hessian import FragmentResponse
+from repro.fragment.fragmenter import QFPiece
+
+
+def _coefficient(piece: QFPiece) -> float:
+    mult = piece.multiplicity if piece.multiplicity else 1
+    return piece.sign * mult
+
+
+def _coordinate_map(piece: QFPiece) -> tuple[np.ndarray, np.ndarray]:
+    """(piece coordinate indices, global coordinate indices) for real atoms."""
+    real = np.where(piece.atom_map >= 0)[0]
+    pc = (3 * real[:, None] + np.arange(3)[None, :]).ravel()
+    gc = (3 * piece.atom_map[real][:, None] + np.arange(3)[None, :]).ravel()
+    return pc, gc
+
+
+def assemble_energy(pieces: list[QFPiece], energies: list[float]) -> float:
+    """Total QF energy: sum of signed piece energies."""
+    if len(pieces) != len(energies):
+        raise ValueError("piece/energy length mismatch")
+    return float(sum(_coefficient(p) * e for p, e in zip(pieces, energies)))
+
+
+def assemble_gradient(
+    pieces: list[QFPiece],
+    gradients: list[np.ndarray],
+    natoms_total: int,
+) -> np.ndarray:
+    """Global gradient (natoms_total, 3) from piece gradients."""
+    g = np.zeros((natoms_total, 3))
+    for piece, pg in zip(pieces, gradients):
+        coeff = _coefficient(piece)
+        real = np.where(piece.atom_map >= 0)[0]
+        g[piece.atom_map[real]] += coeff * np.asarray(pg)[real]
+    return g
+
+
+@dataclass
+class AssembledResponse:
+    """Globally assembled second-order response (Eq. 1 applied to the
+    Hessian and the polarizability derivative)."""
+
+    energy: float
+    hessian: np.ndarray            # (3N, 3N) dense
+    dalpha_dr: np.ndarray | None   # (3N, 3, 3)
+    natoms: int
+
+
+def assemble_response(
+    pieces: list[QFPiece],
+    responses: list[FragmentResponse],
+    natoms_total: int,
+) -> AssembledResponse:
+    """Dense assembly (small/medium systems)."""
+    if len(pieces) != len(responses):
+        raise ValueError("piece/response length mismatch")
+    n3 = 3 * natoms_total
+    hessian = np.zeros((n3, n3))
+    have_raman = all(r.dalpha_dr is not None for r in responses)
+    dalpha = np.zeros((n3, 3, 3)) if have_raman else None
+    energy = 0.0
+    for piece, resp in zip(pieces, responses):
+        coeff = _coefficient(piece)
+        energy += coeff * resp.energy
+        pc, gc = _coordinate_map(piece)
+        hessian[np.ix_(gc, gc)] += coeff * resp.hessian[np.ix_(pc, pc)]
+        if have_raman:
+            dalpha[gc] += coeff * resp.dalpha_dr[pc]
+    return AssembledResponse(
+        energy=energy, hessian=hessian, dalpha_dr=dalpha, natoms=natoms_total
+    )
+
+
+def assemble_sparse_hessian(
+    pieces: list[QFPiece],
+    responses: list[FragmentResponse],
+    natoms_total: int,
+    masses_amu: np.ndarray | None = None,
+) -> scipy.sparse.csr_matrix:
+    """Block-sparse (optionally mass-weighted) global Hessian.
+
+    This is the operator the Lanczos solver multiplies against for
+    systems far beyond dense-diagonalization reach: memory scales with
+    the number of piece-internal coordinate pairs, not (3N)^2.
+    """
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    for piece, resp in zip(pieces, responses):
+        coeff = _coefficient(piece)
+        pc, gc = _coordinate_map(piece)
+        block = coeff * resp.hessian[np.ix_(pc, pc)]
+        r, c = np.meshgrid(gc, gc, indexing="ij")
+        rows.append(r.ravel())
+        cols.append(c.ravel())
+        vals.append(block.ravel())
+    n3 = 3 * natoms_total
+    h = scipy.sparse.coo_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n3, n3),
+    ).tocsr()
+    if masses_amu is not None:
+        inv_sqrt = 1.0 / np.sqrt(np.repeat(np.asarray(masses_amu, float), 3))
+        d = scipy.sparse.diags(inv_sqrt)
+        h = d @ h @ d
+    return h

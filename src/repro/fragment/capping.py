@@ -1,0 +1,77 @@
+"""Hydrogen capping of cut peptide bonds.
+
+A QF piece covering residues [i..j] of a chain severs at most two
+bonds: C_{i-1}-N_i on the N side and C_j-N_{j+1} on the C side. Each
+dangling bond is saturated by a hydrogen placed along the cut bond
+direction at the standard X-H distance, which keeps every piece a
+neutral closed-shell molecule (paper §IV-A: "hydrogen atoms are added
+to terminate all dangling bonds").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import ANGSTROM_TO_BOHR
+from repro.geometry.atoms import Geometry
+from repro.geometry.protein import BuiltResidue
+
+#: cap bond lengths in angstrom
+N_H_CAP = 1.010
+C_H_CAP = 1.090
+
+
+def cap_position(host: np.ndarray, toward: np.ndarray, bond_angstrom: float
+                 ) -> np.ndarray:
+    """Place a cap H on ``host`` pointing at ``toward`` (coords in bohr)."""
+    direction = toward - host
+    norm = np.linalg.norm(direction)
+    if norm < 1e-8:
+        raise ValueError("degenerate cap direction")
+    return host + direction / norm * bond_angstrom * ANGSTROM_TO_BOHR
+
+
+def capped_residue_range(
+    protein: Geometry,
+    residues: list[BuiltResidue],
+    first: int,
+    last: int,
+) -> tuple[Geometry, np.ndarray]:
+    """Extract residues [first..last] with H caps at the cut bonds.
+
+    Returns ``(geometry, atom_map)`` where ``atom_map[k]`` is the
+    global (protein) atom index of piece atom k, or -1 for cap
+    hydrogens (their derivative rows are dropped at assembly).
+    """
+    if not (0 <= first <= last < len(residues)):
+        raise IndexError("residue range out of bounds")
+    indices: list[int] = []
+    for r in range(first, last + 1):
+        indices.extend(residues[r].atom_indices)
+    sub = protein.subset(indices)
+    atom_map = list(indices)
+    symbols = list(sub.symbols)
+    coords = [c for c in sub.coords]
+    labels = list(sub.labels) if sub.labels else [{} for _ in symbols]
+
+    def add_cap(host_global: int, toward_global: int, bond: float) -> None:
+        pos = cap_position(
+            protein.coords[host_global], protein.coords[toward_global], bond
+        )
+        symbols.append("H")
+        coords.append(pos)
+        labels.append({"kind": "cap", "name": "HCAP"})
+        atom_map.append(-1)
+
+    if first > 0:
+        # N-side cut: C_{first-1} - N_first; cap sits on N_first
+        add_cap(
+            residues[first].named("N"), residues[first - 1].named("C"), N_H_CAP
+        )
+    if last < len(residues) - 1:
+        # C-side cut: C_last - N_{last+1}; cap sits on C_last
+        add_cap(
+            residues[last].named("C"), residues[last + 1].named("N"), C_H_CAP
+        )
+    geom = Geometry(symbols, np.array(coords), charge=0, labels=labels)
+    return geom, np.array(atom_map, dtype=int)

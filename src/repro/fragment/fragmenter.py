@@ -1,0 +1,299 @@
+"""QF decomposition of a solvated protein (paper §IV-A, Eq. 1).
+
+Produces a flat list of :class:`QFPiece` work items — exactly the task
+pool the paper's master process distributes (each piece later expands
+into 6N+1 displacement jobs in the DFPT loop).
+
+Sign structure of Eq. (1):
+
+    E(2) =   sum_k  F_k            (+1, per-residue capped fragments)
+           - sum_k  CC_k           (-1, conjugate-cap corrections)
+           + sum_k  W_k            (+1, water one-body)
+           + sum_gc (E_ij - E_i - E_j)   (generalized concaps: the pair
+                    dimer at +1, the two re-used monomers at -1)
+
+Monomer terms of generalized concaps reuse the already-computed
+one-body pieces where possible (water monomers are exactly the W_k
+pieces; residue monomers E_i are dedicated capped single residues,
+cached by residue index so each is computed once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.atoms import Geometry
+from repro.geometry.neighbor import pairs_within
+from repro.geometry.protein import BuiltResidue
+from repro.fragment.capping import capped_residue_range
+
+
+@dataclass
+class QFPiece:
+    """One QM work item of the decomposition."""
+
+    kind: str                 # fragment | concap | water | gc_dimer | gc_mono
+    sign: float               # +1 or -1 coefficient in Eq. (1)
+    geometry: Geometry        # capped, closed-shell piece geometry
+    atom_map: np.ndarray      # piece atom -> global atom index (-1 = cap H)
+    label: str = ""
+    multiplicity: int = 1     # how many times this piece enters the sum
+
+    @property
+    def natoms(self) -> int:
+        return self.geometry.natoms
+
+
+@dataclass
+class QFDecomposition:
+    """The full piece list plus bookkeeping counters."""
+
+    pieces: list[QFPiece]
+    natoms_total: int
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def by_kind(self, kind: str) -> list[QFPiece]:
+        return [p for p in self.pieces if p.kind == kind]
+
+    def total_qm_atoms(self) -> int:
+        """Sum of piece sizes × multiplicity (the QM workload measure)."""
+        return sum(p.natoms * p.multiplicity for p in self.pieces)
+
+
+# ---------------------------------------------------------------------------
+# protein decomposition
+# ---------------------------------------------------------------------------
+
+def decompose_protein(
+    protein: Geometry,
+    residues: list[BuiltResidue],
+    lambda_angstrom: float = 4.0,
+    min_sequence_separation: int = 3,
+    generalized_concaps: bool = True,
+) -> list[QFPiece]:
+    """MFCC pieces of one protein chain.
+
+    Residue k's fragment covers residues [k-1, k, k+1] (the caps are
+    the real neighboring residues); the first and last peptide bonds
+    are never cut, i.e. the terminal residues ride along with their
+    neighbor's fragment (paper: N amino acids → N-2 fragments, N-3
+    conjugate caps). Generalized concaps connect residue pairs at
+    sequence distance >= ``min_sequence_separation`` whose minimal atom
+    distance is within λ.
+    """
+    n = len(residues)
+    if n < 3:
+        # degenerate chains: treat the whole thing as a single fragment
+        geom, amap = capped_residue_range(protein, residues, 0, n - 1)
+        return [QFPiece("fragment", +1.0, geom, amap, label="frag[whole]")]
+    pieces: list[QFPiece] = []
+    # fragments: k = 1 .. n-2 covering [k-1, k+1]  → n-2 pieces
+    for k in range(1, n - 1):
+        geom, amap = capped_residue_range(protein, residues, k - 1, k + 1)
+        pieces.append(
+            QFPiece("fragment", +1.0, geom, amap, label=f"frag[{k}]")
+        )
+    # conjugate caps: overlap of consecutive fragments = [k, k+1],
+    # k = 1 .. n-3  → n-3 pieces
+    for k in range(1, n - 2):
+        geom, amap = capped_residue_range(protein, residues, k, k + 1)
+        pieces.append(
+            QFPiece("concap", -1.0, geom, amap, label=f"concap[{k}]")
+        )
+    if generalized_concaps:
+        pieces.extend(
+            _protein_generalized_concaps(
+                protein, residues, lambda_angstrom, min_sequence_separation
+            )
+        )
+    return pieces
+
+
+def _protein_generalized_concaps(
+    protein: Geometry,
+    residues: list[BuiltResidue],
+    lam: float,
+    min_sep: int,
+) -> list[QFPiece]:
+    coords_ang = protein.coords_angstrom()
+    groups = [coords_ang[r.atom_indices] for r in residues]
+    close = pairs_within(groups, lam)
+    pieces: list[QFPiece] = []
+    mono_cache: dict[int, QFPiece] = {}
+
+    def monomer(i: int) -> QFPiece:
+        if i not in mono_cache:
+            geom, amap = capped_residue_range(protein, residues, i, i)
+            mono_cache[i] = QFPiece(
+                "gc_mono", -1.0, geom, amap, label=f"mono[{i}]", multiplicity=0
+            )
+        return mono_cache[i]
+
+    for (i, j) in close:
+        if abs(i - j) < min_sep:
+            continue
+        gi, mi = capped_residue_range(protein, residues, i, i)
+        gj, mj = capped_residue_range(protein, residues, j, j)
+        dimer = gi.merged(gj)
+        dmap = np.concatenate([mi, mj])
+        pieces.append(
+            QFPiece("gc_dimer", +1.0, dimer, dmap, label=f"gc[{i},{j}]")
+        )
+        for r in (i, j):
+            monomer(r).multiplicity += 1
+    pieces.extend(p for p in mono_cache.values() if p.multiplicity > 0)
+    return pieces
+
+
+# ---------------------------------------------------------------------------
+# water decomposition
+# ---------------------------------------------------------------------------
+
+def decompose_waters(
+    waters: list[Geometry],
+    global_offset: int,
+    lambda_angstrom: float = 4.0,
+    two_body: bool = True,
+) -> list[QFPiece]:
+    """Water one-body fragments + water-water two-body concaps.
+
+    ``global_offset`` is the index of the first water atom in the
+    assembled global system (protein atoms come first).
+    """
+    pieces: list[QFPiece] = []
+    offsets = []
+    off = global_offset
+    for w in waters:
+        offsets.append(off)
+        amap = np.arange(off, off + w.natoms)
+        pieces.append(
+            QFPiece("water", +1.0, w, amap, label=f"water[{len(offsets)-1}]")
+        )
+        off += w.natoms
+    if two_body and len(waters) > 1:
+        groups = [w.coords_angstrom() for w in waters]
+        close = pairs_within(groups, lambda_angstrom)
+        mono_extra: dict[int, int] = {}
+        for (i, j) in close:
+            dimer = waters[i].merged(waters[j])
+            dmap = np.concatenate(
+                [
+                    np.arange(offsets[i], offsets[i] + waters[i].natoms),
+                    np.arange(offsets[j], offsets[j] + waters[j].natoms),
+                ]
+            )
+            pieces.append(
+                QFPiece("gc_dimer", +1.0, dimer, dmap, label=f"ww[{i},{j}]")
+            )
+            mono_extra[i] = mono_extra.get(i, 0) + 1
+            mono_extra[j] = mono_extra.get(j, 0) + 1
+        # the monomer terms (-E_wi - E_wj) reuse the one-body water
+        # pieces: emit explicit negative-sign references so assembly
+        # stays a plain signed sum
+        for i, count in mono_extra.items():
+            amap = np.arange(offsets[i], offsets[i] + waters[i].natoms)
+            pieces.append(
+                QFPiece(
+                    "gc_mono", -1.0, waters[i], amap,
+                    label=f"wmono[{i}]", multiplicity=count,
+                )
+            )
+    return pieces
+
+
+# ---------------------------------------------------------------------------
+# full system
+# ---------------------------------------------------------------------------
+
+def decompose_system(
+    protein: Geometry | None = None,
+    residues: list[BuiltResidue] | None = None,
+    waters: list[Geometry] | None = None,
+    lambda_angstrom: float = 4.0,
+    min_sequence_separation: int = 3,
+    protein_water_two_body: bool = True,
+) -> QFDecomposition:
+    """Decompose protein + explicit waters into the full QF piece list.
+
+    Global atom indexing: protein atoms first (their order in
+    ``protein``), then waters in list order.
+    """
+    waters = waters or []
+    if protein is None and not waters:
+        raise ValueError("decompose_system needs a protein, waters, or both")
+    pieces: list[QFPiece] = []
+    natoms_protein = protein.natoms if protein is not None else 0
+    if protein is not None:
+        if residues is None:
+            raise ValueError("protein decomposition needs residue bookkeeping")
+        pieces.extend(
+            decompose_protein(
+                protein, residues, lambda_angstrom, min_sequence_separation
+            )
+        )
+    pieces.extend(
+        decompose_waters(waters, natoms_protein, lambda_angstrom)
+    )
+    if protein is not None and waters and protein_water_two_body:
+        pieces.extend(
+            _protein_water_concaps(
+                protein, residues, waters, natoms_protein, lambda_angstrom
+            )
+        )
+    natoms_total = natoms_protein + sum(w.natoms for w in waters)
+    counts: dict[str, int] = {}
+    for p in pieces:
+        counts[p.kind] = counts.get(p.kind, 0) + max(1, p.multiplicity if
+                                                     p.kind == "gc_mono" else 1)
+    return QFDecomposition(pieces=pieces, natoms_total=natoms_total, counts=counts)
+
+
+def _protein_water_concaps(
+    protein: Geometry,
+    residues: list[BuiltResidue],
+    waters: list[Geometry],
+    water_offset: int,
+    lam: float,
+) -> list[QFPiece]:
+    """Residue-water two-body corrections (the M_aw sum of Eq. 1)."""
+    coords_ang = protein.coords_angstrom()
+    res_groups = [coords_ang[r.atom_indices] for r in residues]
+    wat_groups = [w.coords_angstrom() for w in waters]
+    nres = len(res_groups)
+    close = pairs_within(res_groups + wat_groups, lam)
+    pieces: list[QFPiece] = []
+    mono_cache: dict[int, QFPiece] = {}
+    woff = []
+    off = water_offset
+    for w in waters:
+        woff.append(off)
+        off += w.natoms
+    for (gi, gj) in close:
+        if gi >= nres or gj < nres:
+            continue  # keep only residue-water pairs
+        i, jw = gi, gj - nres
+        gres, mres = capped_residue_range(protein, residues, i, i)
+        dimer = gres.merged(waters[jw])
+        dmap = np.concatenate(
+            [mres, np.arange(woff[jw], woff[jw] + waters[jw].natoms)]
+        )
+        pieces.append(
+            QFPiece("gc_dimer", +1.0, dimer, dmap, label=f"rw[{i},{jw}]")
+        )
+        # monomers: capped residue (cached) and the water one-body
+        if i not in mono_cache:
+            mono_cache[i] = QFPiece(
+                "gc_mono", -1.0, gres, mres, label=f"rmono[{i}]", multiplicity=0
+            )
+        mono_cache[i].multiplicity += 1
+        wmap = np.arange(woff[jw], woff[jw] + waters[jw].natoms)
+        pieces.append(
+            QFPiece(
+                "gc_mono", -1.0, waters[jw], wmap,
+                label=f"wmono-rw[{jw}]", multiplicity=1,
+            )
+        )
+    pieces.extend(p for p in mono_cache.values() if p.multiplicity > 0)
+    return pieces

@@ -1,0 +1,33 @@
+"""Molecular geometry substrate.
+
+Provides the :class:`~repro.geometry.atoms.Geometry` container used across
+the whole library, cell-list neighbor search for the distance-threshold
+(λ) pair enumeration, generators for water molecules / boxes, and a
+synthetic polypeptide builder standing in for the SARS-CoV-2 spike
+structure (see DESIGN.md, substitutions table).
+"""
+
+from repro.geometry.atoms import Atom, Geometry
+from repro.geometry.neighbor import CellList, min_distance, pairs_within
+from repro.geometry.water import water_molecule, water_dimer, water_box
+from repro.geometry.protein import (
+    RESIDUE_TEMPLATES,
+    build_polypeptide,
+    spike_like_protein,
+)
+from repro.geometry.solvate import solvate
+
+__all__ = [
+    "Atom",
+    "Geometry",
+    "CellList",
+    "min_distance",
+    "pairs_within",
+    "water_molecule",
+    "water_dimer",
+    "water_box",
+    "RESIDUE_TEMPLATES",
+    "build_polypeptide",
+    "spike_like_protein",
+    "solvate",
+]

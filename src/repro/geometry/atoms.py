@@ -1,0 +1,179 @@
+"""Atom and Geometry containers.
+
+A :class:`Geometry` is the unit passed to the QM engine: an array of
+element symbols plus coordinates. Coordinates are stored in **bohr**
+internally; constructors accept angstrom via ``from_angstrom`` because
+structural biology data is conventionally in angstrom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    ANGSTROM_TO_BOHR,
+    BOHR_TO_ANGSTROM,
+    mass_of,
+    number_of,
+)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom: element symbol + position (bohr)."""
+
+    symbol: str
+    position: tuple[float, float, float]
+
+    @property
+    def number(self) -> int:
+        return number_of(self.symbol)
+
+    @property
+    def mass(self) -> float:
+        return mass_of(self.symbol)
+
+
+@dataclass
+class Geometry:
+    """A molecular geometry.
+
+    Parameters
+    ----------
+    symbols:
+        Element symbols, length ``natoms``.
+    coords:
+        ``(natoms, 3)`` array in bohr.
+    charge:
+        Total molecular charge.
+    labels:
+        Optional per-atom metadata (e.g. residue index, atom name) used
+        by the fragmenter. Stored as an arbitrary list aligned to atoms.
+    """
+
+    symbols: list[str]
+    coords: np.ndarray
+    charge: int = 0
+    labels: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=float).reshape(-1, 3)
+        if len(self.symbols) != self.coords.shape[0]:
+            raise ValueError(
+                f"symbol/coord length mismatch: {len(self.symbols)} vs "
+                f"{self.coords.shape[0]}"
+            )
+        if self.labels and len(self.labels) != len(self.symbols):
+            raise ValueError("labels must align with atoms")
+
+    # --- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_angstrom(
+        cls,
+        symbols: list[str],
+        coords_angstrom,
+        charge: int = 0,
+        labels: list[dict] | None = None,
+    ) -> "Geometry":
+        coords = np.asarray(coords_angstrom, dtype=float) * ANGSTROM_TO_BOHR
+        return cls(list(symbols), coords, charge=charge, labels=labels or [])
+
+    @classmethod
+    def from_atoms(cls, atoms: list[Atom], charge: int = 0) -> "Geometry":
+        return cls(
+            [a.symbol for a in atoms],
+            np.array([a.position for a in atoms], dtype=float),
+            charge=charge,
+        )
+
+    # --- basic properties ---------------------------------------------------
+
+    @property
+    def natoms(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def numbers(self) -> np.ndarray:
+        return np.array([number_of(s) for s in self.symbols], dtype=int)
+
+    @property
+    def masses(self) -> np.ndarray:
+        """Atomic masses in amu."""
+        return np.array([mass_of(s) for s in self.symbols], dtype=float)
+
+    @property
+    def nelectrons(self) -> int:
+        return int(self.numbers.sum()) - self.charge
+
+    def coords_angstrom(self) -> np.ndarray:
+        return self.coords * BOHR_TO_ANGSTROM
+
+    # --- manipulation --------------------------------------------------------
+
+    def displaced(self, atom: int, axis: int, delta: float) -> "Geometry":
+        """Return a copy with atom ``atom`` moved by ``delta`` bohr along
+        cartesian ``axis`` (0, 1, 2). Used by the DFPT displacement loop."""
+        if not (0 <= atom < self.natoms):
+            raise IndexError(f"atom index {atom} out of range")
+        if axis not in (0, 1, 2):
+            raise IndexError(f"axis must be 0, 1 or 2, got {axis}")
+        coords = self.coords.copy()
+        coords[atom, axis] += delta
+        return Geometry(list(self.symbols), coords, self.charge, list(self.labels))
+
+    def translated(self, shift) -> "Geometry":
+        shift = np.asarray(shift, dtype=float).reshape(3)
+        return Geometry(
+            list(self.symbols), self.coords + shift, self.charge, list(self.labels)
+        )
+
+    def subset(self, indices) -> "Geometry":
+        """Extract a sub-geometry by atom indices, preserving labels."""
+        indices = list(indices)
+        labels = [self.labels[i] for i in indices] if self.labels else []
+        return Geometry(
+            [self.symbols[i] for i in indices],
+            self.coords[indices],
+            charge=0,
+            labels=labels,
+        )
+
+    def merged(self, other: "Geometry") -> "Geometry":
+        """Concatenate two geometries (charges add, labels concatenate)."""
+        labels: list[dict] = []
+        if self.labels or other.labels:
+            labels = (self.labels or [{} for _ in self.symbols]) + (
+                other.labels or [{} for _ in other.symbols]
+            )
+        return Geometry(
+            list(self.symbols) + list(other.symbols),
+            np.vstack([self.coords, other.coords]),
+            charge=self.charge + other.charge,
+            labels=labels,
+        )
+
+    # --- physics helpers ------------------------------------------------------
+
+    def nuclear_repulsion(self) -> float:
+        """Nuclear-nuclear repulsion energy in hartree."""
+        z = self.numbers.astype(float)
+        e = 0.0
+        for i in range(self.natoms):
+            d = np.linalg.norm(self.coords[i + 1:] - self.coords[i], axis=1)
+            if np.any(d < 1e-10):
+                raise ValueError("coincident nuclei in geometry")
+            e += float(np.sum(z[i] * z[i + 1:] / d))
+        return e
+
+    def center_of_mass(self) -> np.ndarray:
+        m = self.masses
+        return (m[:, None] * self.coords).sum(axis=0) / m.sum()
+
+    def distance(self, i: int, j: int) -> float:
+        return float(np.linalg.norm(self.coords[i] - self.coords[j]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Geometry(natoms={self.natoms}, charge={self.charge})"

@@ -1,0 +1,62 @@
+"""Minimal PDB-format I/O.
+
+Only the subset needed here: ATOM/HETATM records with residue
+bookkeeping, so built structures can be inspected in standard viewers
+and small structures can be round-tripped in tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.atoms import Geometry
+
+
+def write_pdb(geometry: Geometry, path: str | Path) -> None:
+    """Write a geometry as PDB ATOM records (coordinates in angstrom)."""
+    lines = []
+    coords = geometry.coords_angstrom()
+    for i, sym in enumerate(geometry.symbols):
+        label = geometry.labels[i] if geometry.labels else {}
+        res_name = str(label.get("residue_name", "UNK"))[:3]
+        res_idx = int(label.get("residue_index", 0)) + 1
+        name = str(label.get("name", sym))[:4]
+        x, y, z = coords[i]
+        lines.append(
+            f"ATOM  {i + 1:>5d} {name:<4s} {res_name:<3s} A{res_idx:>4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00          {sym:>2s}"
+        )
+    lines.append("END")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_pdb(path: str | Path) -> Geometry:
+    """Read ATOM/HETATM records back into a :class:`Geometry`."""
+    symbols: list[str] = []
+    coords: list[list[float]] = []
+    labels: list[dict] = []
+    for line in Path(path).read_text().splitlines():
+        if not (line.startswith("ATOM") or line.startswith("HETATM")):
+            continue
+        name = line[12:16].strip()
+        res_name = line[17:20].strip()
+        res_idx = int(line[22:26]) - 1
+        x = float(line[30:38])
+        y = float(line[38:46])
+        z = float(line[46:54])
+        element = line[76:78].strip() or name[0]
+        symbols.append(element)
+        coords.append([x, y, z])
+        labels.append(
+            {
+                "kind": "protein",
+                "residue_index": res_idx,
+                "residue_name": res_name,
+                "name": name,
+            }
+        )
+    if not symbols:
+        raise ValueError(f"no ATOM records in {path}")
+    return Geometry.from_angstrom(symbols, np.array(coords), labels=labels)

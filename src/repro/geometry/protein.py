@@ -1,0 +1,487 @@
+"""Synthetic polypeptide builder (stand-in for the spike structure).
+
+Two levels of fidelity:
+
+* :func:`build_polypeptide` — all-atom, chemically valid geometry built
+  from internal coordinates (NeRF). Used for everything that goes
+  through the QM engine (fragment SCF/DFPT, the Fig. 12 gas-phase
+  spectrum at reduced scale).
+* :func:`spike_like_protein` — a large compact structure with realistic
+  residue composition and spatial contacts, built by placing rigid
+  residue templates along a serpentine space-filling path. Used for the
+  full-scale *bookkeeping and scheduling* workloads (fragment-size
+  distribution, generalized-concap enumeration, load-balance /
+  scaling simulations) where only sizes and distances matter.
+
+Residue templates use neutral protonation states so every fragment is a
+closed-shell even-electron system suitable for restricted SCF.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.atoms import Geometry
+from repro.geometry.zmatrix import place_atom
+
+# ---------------------------------------------------------------------------
+# residue templates: side-chain recipes in internal coordinates
+# ---------------------------------------------------------------------------
+
+#: recipe entry: (atom_name, element, ref_a, ref_b, ref_c, bond Å, angle °, dihedral °)
+Recipe = tuple[str, str, str, str, str, float, float, float]
+
+
+# Rotamer dihedrals below were selected by an automated clash scan
+# (tests/geometry/test_protein.py asserts every homo-/hetero-peptide
+# stays clash-free); side chains use common gauche/trans rotamers.
+RESIDUE_TEMPLATES: dict[str, list[Recipe]] = {
+    "GLY": [
+        ("HA2", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("HA3", "H", "N", "C", "CA", 1.09, 109.0, -119.0),
+    ],
+    "ALA": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB1", "H", "N", "CA", "CB", 1.09, 109.5, 60.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, -180.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, -60.0),
+    ],
+    "SER": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, -65.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, 55.0),
+        ("OG", "O", "N", "CA", "CB", 1.42, 110.0, 175.0),
+        ("HG", "H", "CA", "CB", "OG", 0.96, 108.5, -180.0),
+    ],
+    "CYS": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, -175.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, -55.0),
+        ("SG", "S", "N", "CA", "CB", 1.81, 113.0, 65.0),
+        ("HG", "H", "CA", "CB", "SG", 1.34, 96.0, -180.0),
+    ],
+    "VAL": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB", "H", "N", "CA", "CB", 1.09, 108.0, 55.0),
+        ("CG1", "C", "N", "CA", "CB", 1.53, 110.5, 175.0),
+        ("HG11", "H", "CA", "CB", "CG1", 1.09, 109.5, 60.0),
+        ("HG12", "H", "CA", "CB", "CG1", 1.09, 109.5, -180.0),
+        ("HG13", "H", "CA", "CB", "CG1", 1.09, 109.5, -60.0),
+        ("CG2", "C", "N", "CA", "CB", 1.53, 110.5, -65.0),
+        ("HG21", "H", "CA", "CB", "CG2", 1.09, 109.5, 60.0),
+        ("HG22", "H", "CA", "CB", "CG2", 1.09, 109.5, -180.0),
+        ("HG23", "H", "CA", "CB", "CG2", 1.09, 109.5, -60.0),
+    ],
+    "THR": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB", "H", "N", "CA", "CB", 1.09, 108.0, 65.0),
+        ("OG1", "O", "N", "CA", "CB", 1.42, 109.5, -175.0),
+        ("HG1", "H", "CA", "CB", "OG1", 0.96, 108.5, -180.0),
+        ("CG2", "C", "N", "CA", "CB", 1.53, 110.5, -55.0),
+        ("HG21", "H", "CA", "CB", "CG2", 1.09, 109.5, 60.0),
+        ("HG22", "H", "CA", "CB", "CG2", 1.09, 109.5, -180.0),
+        ("HG23", "H", "CA", "CB", "CG2", 1.09, 109.5, -60.0),
+    ],
+    "LEU": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, 60.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, -180.0),
+        ("CG", "C", "N", "CA", "CB", 1.53, 116.0, -60.0),
+        ("HG", "H", "CA", "CB", "CG", 1.09, 108.0, 60.0),
+        ("CD1", "C", "CA", "CB", "CG", 1.53, 110.5, -180.0),
+        ("HD11", "H", "CB", "CG", "CD1", 1.09, 109.5, 60.0),
+        ("HD12", "H", "CB", "CG", "CD1", 1.09, 109.5, -180.0),
+        ("HD13", "H", "CB", "CG", "CD1", 1.09, 109.5, -60.0),
+        ("CD2", "C", "CA", "CB", "CG", 1.53, 110.5, -60.0),
+        ("HD21", "H", "CB", "CG", "CD2", 1.09, 109.5, 60.0),
+        ("HD22", "H", "CB", "CG", "CD2", 1.09, 109.5, -180.0),
+        ("HD23", "H", "CB", "CG", "CD2", 1.09, 109.5, -60.0),
+    ],
+    "ASN": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, -175.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, -55.0),
+        ("CG", "C", "N", "CA", "CB", 1.52, 112.6, 65.0),
+        ("OD1", "O", "CA", "CB", "CG", 1.23, 120.8, -180.0),
+        ("ND2", "N", "CA", "CB", "CG", 1.33, 116.4, 0.0),
+        ("HD21", "H", "CB", "CG", "ND2", 1.01, 120.0, 0.0),
+        ("HD22", "H", "CB", "CG", "ND2", 1.01, 120.0, -180.0),
+    ],
+    # neutral (protonated) aspartic acid keeps fragments closed-shell
+    "ASP": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, -65.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, 55.0),
+        ("CG", "C", "N", "CA", "CB", 1.52, 112.6, 175.0),
+        ("OD1", "O", "CA", "CB", "CG", 1.21, 120.8, 175.0),
+        ("OD2", "O", "CA", "CB", "CG", 1.36, 113.0, -5.0),
+        ("HD2", "H", "CB", "CG", "OD2", 0.97, 106.0, -180.0),
+    ],
+    # neutral lysine (amine, not ammonium)
+    "LYS": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("CG", "C", "N", "CA", "CB", 1.53, 111.0, -60.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, 60.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, -180.0),
+        ("CD", "C", "CA", "CB", "CG", 1.53, 111.0, -180.0),
+        ("HG2", "H", "CA", "CB", "CG", 1.09, 109.5, -60.0),
+        ("HG3", "H", "CA", "CB", "CG", 1.09, 109.5, 60.0),
+        ("CE", "C", "CB", "CG", "CD", 1.53, 111.0, -180.0),
+        ("HD2", "H", "CB", "CG", "CD", 1.09, 109.5, -60.0),
+        ("HD3", "H", "CB", "CG", "CD", 1.09, 109.5, 60.0),
+        ("NZ", "N", "CG", "CD", "CE", 1.47, 111.0, -180.0),
+        ("HE2", "H", "CG", "CD", "CE", 1.09, 109.5, -60.0),
+        ("HE3", "H", "CG", "CD", "CE", 1.09, 109.5, 60.0),
+        ("HZ1", "H", "CD", "CE", "NZ", 1.01, 109.5, 60.0),
+        ("HZ2", "H", "CD", "CE", "NZ", 1.01, 109.5, -60.0),
+    ],
+    "PHE": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, 60.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, -180.0),
+        ("CG", "C", "N", "CA", "CB", 1.51, 114.0, -60.0),
+        ("CD1", "C", "CA", "CB", "CG", 1.39, 120.0, 90.0),
+        ("CD2", "C", "CA", "CB", "CG", 1.39, 120.0, -90.0),
+        ("CE1", "C", "CB", "CG", "CD1", 1.39, 120.0, -180.0),
+        ("HD1", "H", "CB", "CG", "CD1", 1.08, 120.0, 0.0),
+        ("CE2", "C", "CB", "CG", "CD2", 1.39, 120.0, -180.0),
+        ("HD2", "H", "CB", "CG", "CD2", 1.08, 120.0, 0.0),
+        ("CZ", "C", "CG", "CD1", "CE1", 1.39, 120.0, 0.0),
+        ("HE1", "H", "CG", "CD1", "CE1", 1.08, 120.0, -180.0),
+        ("HE2", "H", "CG", "CD2", "CE2", 1.08, 120.0, -180.0),
+        ("HZ", "H", "CD1", "CE1", "CZ", 1.08, 120.0, -180.0),
+    ],
+    # tyrosine: the Phe ring plus the para-hydroxyl
+    "TYR": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, 55.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, 175.0),
+        ("CG", "C", "N", "CA", "CB", 1.51, 114.0, -65.0),
+        ("CD1", "C", "CA", "CB", "CG", 1.39, 120.0, 90.0),
+        ("CD2", "C", "CA", "CB", "CG", 1.39, 120.0, -90.0),
+        ("CE1", "C", "CB", "CG", "CD1", 1.39, 120.0, -180.0),
+        ("HD1", "H", "CB", "CG", "CD1", 1.08, 120.0, 0.0),
+        ("CE2", "C", "CB", "CG", "CD2", 1.39, 120.0, -180.0),
+        ("HD2", "H", "CB", "CG", "CD2", 1.08, 120.0, 0.0),
+        ("CZ", "C", "CG", "CD1", "CE1", 1.39, 120.0, 0.0),
+        ("HE1", "H", "CG", "CD1", "CE1", 1.08, 120.0, -180.0),
+        ("HE2", "H", "CG", "CD2", "CE2", 1.08, 120.0, -180.0),
+        ("OH", "O", "CD1", "CE1", "CZ", 1.36, 120.0, -180.0),
+        ("HH", "H", "CE1", "CZ", "OH", 0.97, 110.0, 0.0),
+    ],
+    # methionine (thioether side chain)
+    "MET": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, 55.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, 175.0),
+        ("CG", "C", "N", "CA", "CB", 1.53, 114.0, -65.0),
+        ("HG2", "H", "CA", "CB", "CG", 1.09, 109.5, -65.0),
+        ("HG3", "H", "CA", "CB", "CG", 1.09, 109.5, 55.0),
+        ("SD", "S", "CA", "CB", "CG", 1.81, 112.7, 175.0),
+        ("CE", "C", "CB", "CG", "SD", 1.79, 100.2, 120.0),
+        ("HE1", "H", "CG", "SD", "CE", 1.09, 109.5, 60.0),
+        ("HE2", "H", "CG", "SD", "CE", 1.09, 109.5, -180.0),
+        ("HE3", "H", "CG", "SD", "CE", 1.09, 109.5, -60.0),
+    ],
+    "GLN": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, 55.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, 175.0),
+        ("CG", "C", "N", "CA", "CB", 1.53, 114.0, -65.0),
+        ("HG2", "H", "CA", "CB", "CG", 1.09, 109.5, -65.0),
+        ("HG3", "H", "CA", "CB", "CG", 1.09, 109.5, 55.0),
+        ("CD", "C", "CA", "CB", "CG", 1.52, 112.6, 175.0),
+        ("OE1", "O", "CB", "CG", "CD", 1.23, 120.8, 120.0),
+        ("NE2", "N", "CB", "CG", "CD", 1.33, 116.4, -60.0),
+        ("HE21", "H", "CG", "CD", "NE2", 1.01, 120.0, 0.0),
+        ("HE22", "H", "CG", "CD", "NE2", 1.01, 120.0, -180.0),
+    ],
+    # neutral (protonated) glutamic acid
+    "GLU": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB2", "H", "N", "CA", "CB", 1.09, 109.5, -65.0),
+        ("HB3", "H", "N", "CA", "CB", 1.09, 109.5, 55.0),
+        ("CG", "C", "N", "CA", "CB", 1.53, 114.0, 175.0),
+        ("HG2", "H", "CA", "CB", "CG", 1.09, 109.5, -65.0),
+        ("HG3", "H", "CA", "CB", "CG", 1.09, 109.5, 55.0),
+        ("CD", "C", "CA", "CB", "CG", 1.52, 112.6, 175.0),
+        ("OE1", "O", "CB", "CG", "CD", 1.21, 120.8, 65.0),
+        ("OE2", "O", "CB", "CG", "CD", 1.36, 113.0, -115.0),
+        ("HE2", "H", "CG", "CD", "OE2", 0.97, 106.0, -180.0),
+    ],
+    "ILE": [
+        ("HA", "H", "N", "C", "CA", 1.09, 109.0, 119.0),
+        ("CB", "C", "N", "C", "CA", 1.53, 110.5, -119.0),
+        ("HB", "H", "N", "CA", "CB", 1.09, 108.0, 55.0),
+        ("CG1", "C", "N", "CA", "CB", 1.53, 110.5, 175.0),
+        ("HG12", "H", "CA", "CB", "CG1", 1.09, 109.5, -65.0),
+        ("HG13", "H", "CA", "CB", "CG1", 1.09, 109.5, 55.0),
+        ("CG2", "C", "N", "CA", "CB", 1.53, 110.5, -65.0),
+        ("HG21", "H", "CA", "CB", "CG2", 1.09, 109.5, 60.0),
+        ("HG22", "H", "CA", "CB", "CG2", 1.09, 109.5, -180.0),
+        ("HG23", "H", "CA", "CB", "CG2", 1.09, 109.5, -60.0),
+        ("CD1", "C", "CA", "CB", "CG1", 1.53, 110.5, 175.0),
+        ("HD11", "H", "CB", "CG1", "CD1", 1.09, 109.5, 60.0),
+        ("HD12", "H", "CB", "CG1", "CD1", 1.09, 109.5, -180.0),
+        ("HD13", "H", "CB", "CG1", "CD1", 1.09, 109.5, -60.0),
+    ],
+}
+
+#: atoms per residue (backbone N,H,CA,C,O = 5 plus the recipe), for
+#: bookkeeping without building geometry.
+def residue_atom_count(name: str) -> int:
+    return 5 + len(RESIDUE_TEMPLATES[name])
+
+
+# approximate composition of the SARS-CoV-2 spike among the residue types
+# we model (renormalized from UniProt P0DTC2 residue frequencies).
+SPIKE_COMPOSITION: dict[str, float] = {
+    "GLY": 0.065, "ALA": 0.062, "SER": 0.078, "CYS": 0.031, "VAL": 0.076,
+    "THR": 0.075, "LEU": 0.084, "ASN": 0.069, "ASP": 0.049, "LYS": 0.048,
+    "PHE": 0.061, "TYR": 0.043, "MET": 0.011, "GLN": 0.049, "GLU": 0.038,
+    "ILE": 0.060,
+}
+
+
+# ---------------------------------------------------------------------------
+# all-atom builder
+# ---------------------------------------------------------------------------
+
+# backbone internal coordinates (Engh-Huber-like)
+_BB = {
+    "C-N": 1.329, "N-CA": 1.458, "CA-C": 1.525, "C-O": 1.231, "N-H": 1.010,
+    "CA-C-N": 116.2, "C-N-CA": 121.7, "N-CA-C": 111.2, "CA-C-O": 120.8,
+    "C-N-H": 119.0,
+}
+
+
+@dataclass
+class BuiltResidue:
+    """Bookkeeping for one residue of a built polypeptide."""
+
+    index: int
+    name: str
+    atom_indices: list[int]
+    atom_names: list[str]
+
+    def named(self, atom_name: str) -> int:
+        """Global index of atom ``atom_name`` in this residue."""
+        return self.atom_indices[self.atom_names.index(atom_name)]
+
+
+def build_polypeptide(
+    sequence: list[str],
+    phi: float = -140.0,
+    psi: float = 135.0,
+    omega: float = 180.0,
+) -> tuple[Geometry, list[BuiltResidue]]:
+    """Build an all-atom polypeptide with NH2/COOH termini.
+
+    Parameters
+    ----------
+    sequence:
+        Residue names from :data:`RESIDUE_TEMPLATES`.
+    phi, psi, omega:
+        Backbone dihedrals in degrees (defaults: extended beta strand,
+        which is clash-free for arbitrary sequences).
+
+    Returns
+    -------
+    (geometry, residues):
+        The full geometry (labels carry residue index/name/atom name)
+        and per-residue index bookkeeping for the fragmenter.
+    """
+    for name in sequence:
+        if name not in RESIDUE_TEMPLATES:
+            raise KeyError(f"unsupported residue {name!r}")
+    if not sequence:
+        raise ValueError("empty sequence")
+
+    symbols: list[str] = []
+    coords: list[np.ndarray] = []
+    labels: list[dict] = []
+    residues: list[BuiltResidue] = []
+
+    def add(res_idx: int, res_name: str, atom_name: str, element: str, pos) -> int:
+        symbols.append(element)
+        coords.append(np.asarray(pos, dtype=float))
+        labels.append(
+            {
+                "kind": "protein",
+                "residue_index": res_idx,
+                "residue_name": res_name,
+                "name": atom_name,
+            }
+        )
+        return len(symbols) - 1
+
+    pos: dict[str, np.ndarray] = {}  # named atoms of current residue
+    prev: dict[str, np.ndarray] = {}  # named atoms of previous residue
+
+    for i, res_name in enumerate(sequence):
+        atom_names: list[str] = []
+        atom_indices: list[int] = []
+
+        def put(atom_name: str, element: str, p) -> None:
+            idx = add(i, res_name, atom_name, element, p)
+            pos[atom_name] = np.asarray(p, dtype=float)
+            atom_names.append(atom_name)
+            atom_indices.append(idx)
+
+        if i == 0:
+            # seed the chain: N at origin, CA along +x, C in the xy-plane
+            n = np.zeros(3)
+            ca = np.array([_BB["N-CA"], 0.0, 0.0])
+            theta = math.radians(180.0 - _BB["N-CA-C"])
+            c = ca + _BB["CA-C"] * np.array([math.cos(theta), math.sin(theta), 0.0])
+            put("N", "N", n)
+            put("CA", "C", ca)
+            put("C", "C", c)
+            # NH2 terminus: two hydrogens on N
+            h1 = place_atom(pos["C"], pos["CA"], pos["N"], _BB["N-H"], 109.5, 60.0)
+            h2 = place_atom(pos["C"], pos["CA"], pos["N"], _BB["N-H"], 109.5, 300.0)
+            put("H", "H", h1)
+            put("H2", "H", h2)
+        else:
+            n = place_atom(prev["N"], prev["CA"], prev["C"], _BB["C-N"], _BB["CA-C-N"], psi)
+            put("N", "N", n)
+            ca = place_atom(prev["CA"], prev["C"], pos["N"], _BB["N-CA"], _BB["C-N-CA"], omega)
+            put("CA", "C", ca)
+            c = place_atom(prev["C"], pos["N"], pos["CA"], _BB["CA-C"], _BB["N-CA-C"], phi)
+            put("C", "C", c)
+            h = place_atom(prev["CA"], prev["C"], pos["N"], _BB["N-H"], _BB["C-N-H"], 0.0)
+            put("H", "H", h)
+
+        # carbonyl oxygen: trans to the next amide nitrogen (dihedral psi+180)
+        o = place_atom(pos["N"], pos["CA"], pos["C"], _BB["C-O"], _BB["CA-C-O"], psi + 180.0)
+        put("O", "O", o)
+
+        for (atom_name, element, ra, rb, rc, bond, angle, dihedral) in RESIDUE_TEMPLATES[res_name]:
+            p = place_atom(pos[ra], pos[rb], pos[rc], bond, angle, dihedral)
+            put(atom_name, element, p)
+
+        if i == len(sequence) - 1:
+            # COOH terminus: hydroxyl O + H on the final carbonyl carbon
+            oxt = place_atom(pos["N"], pos["CA"], pos["C"], 1.34, 111.0, psi)
+            put("OXT", "O", oxt)
+            hxt = place_atom(pos["CA"], pos["C"], pos["OXT"], 0.97, 106.0, 180.0)
+            put("HXT", "H", hxt)
+
+        residues.append(BuiltResidue(i, res_name, atom_indices, atom_names))
+        prev = {k: pos[k] for k in ("N", "CA", "C")}
+        pos = {}
+
+    geom = Geometry.from_angstrom(symbols, np.array(coords), labels=labels)
+    return geom, residues
+
+
+# ---------------------------------------------------------------------------
+# large-scale structure (bookkeeping fidelity)
+# ---------------------------------------------------------------------------
+
+def sample_sequence(n_residues: int, seed: int = 0,
+                    composition: dict[str, float] | None = None) -> list[str]:
+    """Sample a residue sequence from a composition distribution."""
+    comp = composition or SPIKE_COMPOSITION
+    names = sorted(comp)
+    probs = np.array([comp[n] for n in names], dtype=float)
+    probs /= probs.sum()
+    rng = np.random.default_rng(seed)
+    return [names[k] for k in rng.choice(len(names), size=n_residues, p=probs)]
+
+
+def spike_like_protein(
+    n_residues: int = 3180,
+    seed: int = 0,
+    ca_spacing: float = 3.8,
+    row_spacing: float = 4.9,
+    layer_spacing: float = 5.1,
+) -> tuple[Geometry, list[BuiltResidue]]:
+    """A compact globular stand-in for the spike protein.
+
+    Residues follow a serpentine path through a cube (rows along ±x,
+    stacked in y, layered in z), so sequentially distant residues make
+    spatial contacts — reproducing the generalized-concap statistics of
+    a folded protein. Each residue contributes a rigid, randomly
+    oriented copy of its all-atom template centered on its CA site.
+
+    The geometry is *not* intended for QM (side chains may clash across
+    strands); it feeds the fragment-size distribution and λ-threshold
+    pair enumeration only.
+    """
+    sequence = sample_sequence(n_residues, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+
+    per_row = max(2, int(round(n_residues ** (1.0 / 3.0))))
+    symbols: list[str] = []
+    coords: list[np.ndarray] = []
+    labels: list[dict] = []
+    residues: list[BuiltResidue] = []
+
+    # pre-build one template geometry per residue type (single residue
+    # with termini stripped conceptually irrelevant here — we keep all
+    # template atoms and center on CA)
+    template_cache: dict[str, tuple[list[str], np.ndarray, list[str]]] = {}
+    for name in set(sequence):
+        geom, res = build_polypeptide([name])
+        # drop terminal cap atoms to keep in-chain atom counts
+        keep = [
+            k
+            for k, nm in enumerate(res[0].atom_names)
+            if nm not in ("H2", "OXT", "HXT")
+        ]
+        sub = geom.subset([res[0].atom_indices[k] for k in keep])
+        ca_local = sub.coords_angstrom()[[res[0].atom_names[k] for k in keep].index("CA")]
+        template_cache[name] = (
+            list(sub.symbols),
+            sub.coords_angstrom() - ca_local,
+            [res[0].atom_names[k] for k in keep],
+        )
+
+    from repro.geometry.water import random_rotation
+
+    for i, res_name in enumerate(sequence):
+        layer, rem = divmod(i, per_row * per_row)
+        row, col = divmod(rem, per_row)
+        x = col if row % 2 == 0 else per_row - 1 - col  # serpentine
+        center = np.array(
+            [x * ca_spacing, row * row_spacing, layer * layer_spacing], dtype=float
+        )
+        syms, local, names = template_cache[res_name]
+        rot = random_rotation(rng)
+        placed = local @ rot.T + center
+        start = len(symbols)
+        for k, s in enumerate(syms):
+            symbols.append(s)
+            coords.append(placed[k])
+            labels.append(
+                {
+                    "kind": "protein",
+                    "residue_index": i,
+                    "residue_name": res_name,
+                    "name": names[k],
+                }
+            )
+        residues.append(
+            BuiltResidue(i, res_name, list(range(start, len(symbols))), list(names))
+        )
+
+    geom = Geometry.from_angstrom(symbols, np.array(coords), labels=labels)
+    return geom, residues

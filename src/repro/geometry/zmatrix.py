@@ -1,0 +1,85 @@
+"""Internal-coordinate atom placement (NeRF).
+
+The polypeptide builder constructs all-atom geometry from bond lengths,
+angles, and dihedrals using the Natural Extension Reference Frame
+algorithm: given three placed atoms a, b, c, a new atom d bonded to c
+is positioned by (|cd|, angle(b,c,d), dihedral(a,b,c,d)).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def place_atom(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    bond: float,
+    angle_deg: float,
+    dihedral_deg: float,
+) -> np.ndarray:
+    """Position atom d from reference atoms a-b-c.
+
+    Parameters
+    ----------
+    a, b, c:
+        Reference positions (any consistent length unit).
+    bond:
+        Distance |c-d| in the same unit.
+    angle_deg:
+        Angle b-c-d in degrees.
+    dihedral_deg:
+        Dihedral a-b-c-d in degrees (right-handed, IUPAC sign).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    c = np.asarray(c, dtype=float)
+    theta = math.radians(angle_deg)
+    phi = math.radians(dihedral_deg)
+
+    bc = c - b
+    bc_n = bc / np.linalg.norm(bc)
+    ab = b - a
+    n = np.cross(ab, bc_n)
+    norm_n = np.linalg.norm(n)
+    if norm_n < 1e-12:
+        raise ValueError("collinear reference atoms in place_atom")
+    n /= norm_n
+    m = np.cross(n, bc_n)
+
+    d_local = np.array(
+        [
+            -bond * math.cos(theta),
+            bond * math.sin(theta) * math.cos(phi),
+            bond * math.sin(theta) * math.sin(phi),
+        ]
+    )
+    rot = np.column_stack([bc_n, m, n])
+    return c + rot @ d_local
+
+
+def dihedral_angle(p0, p1, p2, p3) -> float:
+    """Dihedral angle p0-p1-p2-p3 in degrees (IUPAC sign convention;
+    inverse of :func:`place_atom`). 0 = cis/eclipsed, ±180 = trans."""
+    p0, p1, p2, p3 = (np.asarray(p, dtype=float) for p in (p0, p1, p2, p3))
+    b0 = p0 - p1
+    b1 = p2 - p1
+    b2 = p3 - p2
+    b1n = b1 / np.linalg.norm(b1)
+    v = b0 - (b0 @ b1n) * b1n
+    w = b2 - (b2 @ b1n) * b1n
+    x = v @ w
+    y = np.cross(b1n, v) @ w
+    return math.degrees(math.atan2(y, x))
+
+
+def bond_angle(p0, p1, p2) -> float:
+    """Angle p0-p1-p2 in degrees."""
+    p0, p1, p2 = (np.asarray(p, dtype=float) for p in (p0, p1, p2))
+    u = p0 - p1
+    v = p2 - p1
+    cosang = (u @ v) / (np.linalg.norm(u) * np.linalg.norm(v))
+    return math.degrees(math.acos(max(-1.0, min(1.0, cosang))))

@@ -1,0 +1,114 @@
+"""Task-packing policies for the master process (paper §V-B, Fig. 4).
+
+The master keeps the un-processed fragments sorted by size
+(descending) and forms each task lazily at assignment time, so the
+granularity adapts to the remaining workload:
+
+* while plenty of work remains, the per-task cost target
+  ``remaining / (waves * n_leaders)`` is large — big fragments go out
+  alone (they already exceed the target) and medium fragments are
+  packed together to avoid master round-trips;
+* towards the end the target shrinks with the remaining pool, so the
+  last tasks degrade gracefully to single small fragments that top up
+  lightly-loaded leaders — exactly Fig. 4(c).
+
+Baselines for the ablation benches: fixed-count packing and static
+round-robin pre-partitioning (no dynamic master at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class FragmentPool:
+    """Sorted (descending-cost) fragment pool with O(1) slice takes."""
+
+    def __init__(self, sizes: np.ndarray, costs: np.ndarray):
+        sizes = np.asarray(sizes)
+        costs = np.asarray(costs, dtype=float)
+        if sizes.shape != costs.shape:
+            raise ValueError("sizes/costs mismatch")
+        order = np.argsort(costs)[::-1]
+        self.sizes = sizes[order]
+        self.costs = costs[order]
+        self.cum = np.concatenate([[0.0], np.cumsum(self.costs)])
+        self.idx = 0
+
+    @property
+    def total_cost(self) -> float:
+        return float(self.cum[-1])
+
+    def remaining_cost(self) -> float:
+        return float(self.cum[-1] - self.cum[self.idx])
+
+    def remaining_count(self) -> int:
+        return self.costs.size - self.idx
+
+    def empty(self) -> bool:
+        return self.idx >= self.costs.size
+
+    def take(self, count: int) -> tuple[np.ndarray, np.ndarray, float]:
+        """Remove the ``count`` largest remaining fragments.
+
+        Returns (sizes, costs, total_cost) of the taken slice.
+        """
+        count = min(count, self.remaining_count())
+        if count <= 0:
+            raise ValueError("take from empty pool")
+        sl = slice(self.idx, self.idx + count)
+        cost = float(self.cum[sl.stop] - self.cum[sl.start])
+        self.idx += count
+        return self.sizes[sl], self.costs[sl], cost
+
+
+@dataclass
+class SystemSizeSensitivePolicy:
+    """The paper's adaptive packing (Fig. 4b).
+
+    ``waves`` is the average number of future tasks per leader the
+    policy aims to keep available (more waves → finer tasks → better
+    balance, more master traffic). ``max_pack`` caps fragments per task
+    so a single message stays bounded.
+    """
+
+    waves: float = 4.0
+    max_pack: int = 256
+
+    def next_count(self, pool: FragmentPool, n_leaders: int) -> int:
+        remaining = pool.remaining_cost()
+        target = remaining / (self.waves * max(1, n_leaders))
+        # the largest remaining fragment always ships; pack more while
+        # under target
+        idx = pool.idx
+        cum = pool.cum
+        # binary search the largest k with cum[idx+k] - cum[idx] <= target
+        hi = min(pool.remaining_count(), self.max_pack)
+        take = int(
+            np.searchsorted(cum[idx + 1: idx + hi + 1] - cum[idx], target,
+                            side="right")
+        )
+        return max(1, take)
+
+
+@dataclass
+class FixedPackPolicy:
+    """Naive baseline: always pack exactly ``count`` fragments."""
+
+    count: int = 8
+
+    def next_count(self, pool: FragmentPool, n_leaders: int) -> int:
+        return max(1, min(self.count, pool.remaining_count()))
+
+
+@dataclass
+class RoundRobinPolicy:
+    """Marker policy: static round-robin pre-partitioning.
+
+    The scheduler recognizes this policy and skips the dynamic master
+    entirely — fragment i goes to leader i % n_leaders up front. The
+    worst baseline for heterogeneous sizes; the Fig. 8 ablation bench
+    quantifies by how much.
+    """

@@ -1,0 +1,63 @@
+"""Minimal discrete-event simulation engine.
+
+A binary-heap event queue with a virtual clock. Entities schedule
+callbacks at future times; ties break in scheduling order so runs are
+fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Virtual-time event loop."""
+
+    def __init__(self):
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> _Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = _Event(self.now + delay, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def cancel(self, event: _Event) -> None:
+        event.cancelled = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the queue drains (or limits hit)."""
+        while self._queue:
+            if max_events is not None and self.events_processed >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted ({max_events}); likely a livelock"
+                )
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if until is not None and ev.time > until:
+                heapq.heappush(self._queue, ev)
+                return
+            self.now = ev.time
+            self.events_processed += 1
+            ev.fn()
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,73 @@
+"""Scaling-study metrics over scheduler reports.
+
+The quantities the paper's evaluation reports, as small reusable
+functions: strong-scaling efficiency (Fig. 10), weak-scaling efficiency
+(Fig. 11), load-variation envelopes (Fig. 8), and FLOP-rate projection
+(Table I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpc.scheduler import SchedulerReport
+
+
+def strong_scaling_efficiency(base: SchedulerReport, other: SchedulerReport
+                              ) -> float:
+    """Parallel efficiency of ``other`` relative to the base run (%):
+    E = T_base * n_base / (T * n) * 100."""
+    if base.n_fragments != other.n_fragments:
+        raise ValueError("strong scaling requires a fixed workload")
+    return float(
+        100.0 * base.makespan * base.n_nodes / (other.makespan * other.n_nodes)
+    )
+
+
+def weak_scaling_efficiency(base: SchedulerReport, other: SchedulerReport
+                            ) -> float:
+    """Throughput-based weak-scaling efficiency (%):
+    E = (tput / tput_base) / (n / n_base) * 100."""
+    scale = other.n_nodes / base.n_nodes
+    return float(100.0 * (other.throughput / base.throughput) / scale)
+
+
+def variation_envelope(reports: list[SchedulerReport]
+                       ) -> list[tuple[int, float, float]]:
+    """Fig. 8 rows: (nodes, min %, max %) per report."""
+    out = []
+    for rep in reports:
+        lo, hi = rep.time_variation()
+        out.append((rep.n_nodes, lo, hi))
+    return out
+
+
+def efficiency_curve(reports: list[SchedulerReport]
+                     ) -> list[tuple[int, float]]:
+    """Strong-scaling curve vs the smallest-node report."""
+    if not reports:
+        return []
+    base = min(reports, key=lambda r: r.n_nodes)
+    return [
+        (rep.n_nodes, strong_scaling_efficiency(base, rep))
+        for rep in sorted(reports, key=lambda r: r.n_nodes)
+    ]
+
+
+def projected_pflops(
+    rate_tflops_by_size: dict[int, float],
+    size_distribution: np.ndarray,
+    n_accelerators: int,
+) -> float:
+    """Distribution-weighted full-system rate (the Table I projection).
+
+    ``rate_tflops_by_size`` maps representative fragment sizes to
+    per-accelerator rates; each workload fragment contributes the rate
+    of its nearest representative.
+    """
+    sizes = np.asarray(sorted(rate_tflops_by_size))
+    rates = np.array([rate_tflops_by_size[int(s)] for s in sizes])
+    dist = np.asarray(size_distribution, dtype=float)
+    idx = np.abs(dist[:, None] - sizes[None, :]).argmin(axis=1)
+    mean_rate = float(rates[idx].mean())
+    return mean_rate * n_accelerators / 1000.0

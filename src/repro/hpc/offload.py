@@ -1,0 +1,180 @@
+"""Elastic workload offloading model (paper §V-C, Fig. 5).
+
+We have no accelerator hardware, so offload *decisions and throughput*
+are modeled with the machine constants of :mod:`repro.hpc.machine`
+while the batching mechanics (stride-32 padding, shape grouping, ≥64
+packing) run for real in :mod:`repro.kernels.batched`. The model
+captures the three effects that make scattered small GEMMs unprofitable
+to offload one-by-one and profitable in batches:
+
+* fixed kernel-launch overhead per offloaded workload,
+* host<->device transfer time (PCIe on ORISE; zero on Sunway, whose
+  accelerating cores share the host address space — §V-F),
+* size-dependent achievable fraction of FP64 peak (small matrices
+  cannot saturate the pipelines; batching restores utilization).
+
+The achievable-fraction curve is calibrated so the per-accelerator
+rates of Table I come out in the reported ranges for the reported
+fragment sizes; the *relative* speedups of Fig. 9 then follow from
+counted FLOPs, not tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hpc.machine import MachineSpec
+
+#: sustained host-core FP64 rate for the CPU-side baseline (GFLOP/s);
+#: one x86 core with AVX2 FMA sustains ~10-20 on DGEMM-ish kernels.
+HOST_CORE_GFLOPS = 14.0
+
+
+@dataclass(frozen=True)
+class OffloadModel:
+    """Accelerator execution model for batched GEMM workloads."""
+
+    machine: MachineSpec
+    #: fraction of FP64 peak approached by large batched GEMMs
+    max_efficiency: float = 0.62
+    #: matrix dimension at which half the max efficiency is reached
+    half_dim: float = 56.0
+    #: batch count at which batching reaches full effect
+    half_batch: float = 12.0
+
+    @classmethod
+    def for_machine(cls, machine: MachineSpec) -> "OffloadModel":
+        """Calibrated model: constants chosen so batch-64 rates across
+        the spike fragment-size range land in Table I's per-accelerator
+        windows (ORISE 1.11-3.93 TFLOPS, Sunway 2.10-4.87 TFLOPS)."""
+        if machine.name == "ORISE":
+            return cls(machine, max_efficiency=0.75, half_dim=110.0)
+        if machine.name == "Sunway":
+            return cls(machine, max_efficiency=0.40, half_dim=55.0)
+        return cls(machine)
+
+    def efficiency(self, dim: int, batch: int = 1) -> float:
+        """Achievable fraction of peak for a batch of dim^3-ish GEMMs."""
+        size_term = dim / (dim + self.half_dim)
+        batch_term = batch / (batch + self.half_batch)
+        return self.max_efficiency * size_term * (0.25 + 0.75 * batch_term)
+
+    def gemm_time(self, m: int, n: int, k: int, batch: int = 1,
+                  bytes_moved: int | None = None) -> float:
+        """Seconds to execute ``batch`` GEMMs of (m,k)x(k,n) on one
+        accelerator, including launch and transfer.
+
+        The default traffic model reflects §V-F aggregated transfers
+        for the DFPT kernels: inputs (basis values, P(1)) are resident
+        on the device across the whole batch and partial results
+        accumulate there, so one result-sized block moves per workload.
+        Pass ``bytes_moved`` explicitly for other traffic patterns.
+        """
+        flops = 2.0 * m * n * k * batch
+        dim = (m * n * k) ** (1.0 / 3.0)
+        rate = self.machine.accel_peak_tflops * 1e12 * self.efficiency(
+            int(dim), batch
+        )
+        t = self.machine.offload_launch_overhead_s + flops / rate
+        if self.machine.offload_transfer_gbps > 0:
+            if bytes_moved is None:
+                if batch == 1:
+                    # a lone scattered GEMM must ship its inputs too
+                    bytes_moved = 8 * (m * k + k * n + m * n)
+                else:
+                    bytes_moved = 8 * m * n
+            t += bytes_moved / (self.machine.offload_transfer_gbps * 1e9)
+        return t
+
+    def host_time(self, flops: float) -> float:
+        """Seconds for the same FLOPs on one host core."""
+        return flops / (HOST_CORE_GFLOPS * 1e9)
+
+    def profitable(self, m: int, n: int, k: int, batch: int) -> bool:
+        """Is offloading this batch faster than host execution?"""
+        flops = 2.0 * m * n * k * batch
+        return self.gemm_time(m, n, k, batch) < self.host_time(flops)
+
+    def achieved_tflops(self, m: int, n: int, k: int, batch: int) -> float:
+        """Useful-FLOP rate of the offloaded batch (the Table I metric)."""
+        flops = 2.0 * m * n * k * batch
+        return flops / self.gemm_time(m, n, k, batch) / 1e12
+
+
+def dfpt_cycle_speedups(
+    model: OffloadModel,
+    kernel_flops: dict[str, int],
+    gemm_dim: int,
+    n_gemms: int,
+    sym_reduction: dict[str, float],
+    gemm_time_fraction: float = 0.85,
+    grid_batch: int = 3072,
+) -> dict[str, float]:
+    """Fig. 9 decomposition for one fragment.
+
+    Time model: a baseline cycle spends ``gemm_time_fraction`` of its
+    wall time in scattered GEMMs (85% for a medium fragment, §IV-B)
+    and the remainder in CPU-friendly work. Symmetry-aware strength
+    reduction divides the GEMM FLOPs by the *measured* per-phase
+    factors in ``sym_reduction`` (weighted by ``kernel_flops``); the
+    CPU-friendly part also benefits (fewer intermediates to stage)
+    with the same weighted factor capped at 2. Elastic offloading then
+    executes the reduced GEMM work as stride-32 batches of
+    ``(gemm_dim, gemm_dim, grid_batch)`` products on the accelerator,
+    overlapped with the CPU-side remainder (Fig. 5's split into a
+    CPU-loop and an offloading-loop).
+
+    Returns baseline-relative speedups ``sym`` and ``sym+offload``.
+    """
+    total = float(sum(kernel_flops.values()))
+    if total <= 0:
+        raise ValueError("empty kernel flops")
+    # flop-weighted symmetry factor over the GEMM-heavy phases
+    f_sym = total / sum(
+        fl / sym_reduction.get(phase, 1.0) for phase, fl in kernel_flops.items()
+    )
+    # absolute host times: the GEMM part is total/host_rate; the full
+    # baseline cycle follows from the GEMM time fraction
+    t_gemm = model.host_time(total)
+    t_base = t_gemm / gemm_time_fraction
+    t_cpu = t_base - t_gemm
+    # strength reduction: GEMM flops by f_sym; CPU-side staging work
+    # shrinks with the eliminated intermediates (capped at 2x)
+    t_sym = t_gemm / f_sym + t_cpu / min(2.0, f_sym)
+
+    # offload: reduced GEMM work ships as stride-32 batches of 64; the
+    # accelerator rate follows from the fragment's characteristic GEMM
+    # shape, applied to the *counted* (reduced) FLOPs so host and
+    # device times are measured on the same workload
+    n_reduced = max(1, int(n_gemms / f_sym))
+    n_batches = max(1, (n_reduced + 63) // 64)
+    per_batch = min(64, n_reduced)
+    eff_dim = (gemm_dim * gemm_dim * grid_batch) ** (1.0 / 3.0)
+    rate = model.machine.accel_peak_tflops * 1e12 * model.efficiency(
+        int(eff_dim), per_batch
+    )
+    t_accel = n_batches * model.machine.offload_launch_overhead_s + (
+        total / f_sym
+    ) / rate
+    if model.machine.offload_transfer_gbps > 0:
+        t_accel += (
+            8.0 * n_reduced * gemm_dim * gemm_dim
+            / (model.machine.offload_transfer_gbps * 1e9)
+        )
+    t_cpu_opt = t_cpu / min(2.0, f_sym)
+    if model.machine.offload_transfer_gbps > 0:
+        # discrete device (ORISE): the CPU loop and the offload loop
+        # synchronize at strip boundaries — serial composition
+        t_off = t_cpu_opt + t_accel
+    else:
+        # unified memory with asynchronous movement (Sunway §V-F):
+        # CPU-side work overlaps the accelerated GEMMs
+        t_off = max(t_cpu_opt, t_accel)
+    return {
+        "sym": t_base / t_sym,
+        "sym+offload": t_base / t_off,
+        "t_base": t_base,
+        "t_sym": t_sym,
+        "t_offload": t_off,
+        "t_accel": t_accel,
+    }

@@ -1,0 +1,269 @@
+"""Master / leader / worker scheduler simulation (paper §V-A/B, Fig. 3-4).
+
+Runs the actual signal protocol in virtual time:
+
+* every leader announces availability (``leader-available``);
+* the master — a single serialized server with per-signal service time
+  — pops fragments from the sorted pool through the packing policy and
+  ships one task per available leader (one-way message latency both
+  directions);
+* a leader executes its task: each fragment's 6n+1 displacement jobs
+  are statically split over the node's worker processes (Fig. 3), so a
+  fragment occupies the leader for ceil(jobs/workers) job rounds;
+* with prefetch enabled (Fig. 4d/e) the leader re-queues for its next
+  task as soon as the current one *starts*, hiding the master round
+  trip; without it the request goes out at completion and the leader
+  idles for the round trip.
+
+Per-node speed jitter and per-fragment execution noise make the
+Fig. 8 time-variation statistics non-trivial; all randomness is seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hpc.balancer import (
+    FragmentPool,
+    RoundRobinPolicy,
+    SystemSizeSensitivePolicy,
+)
+from repro.hpc.costmodel import FragmentCostModel
+from repro.hpc.des import Simulator
+from repro.hpc.machine import MachineSpec
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of one simulated QF run."""
+
+    machine: str
+    n_nodes: int
+    n_fragments: int
+    makespan: float                   # virtual seconds, setup excluded
+    busy_times: np.ndarray            # per-leader total execute time
+    finish_times: np.ndarray          # per-leader last completion
+    tasks_assigned: np.ndarray        # per-leader task count
+    events: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Fragments per (virtual) second."""
+        return self.n_fragments / self.makespan
+
+    def time_variation(self) -> tuple[float, float]:
+        """(min%, max%) deviation of per-leader execution time from the
+        mean — the Fig. 8 statistic."""
+        mean = float(self.busy_times.mean())
+        lo = float(self.busy_times.min() / mean - 1.0) * 100.0
+        hi = float(self.busy_times.max() / mean - 1.0) * 100.0
+        return lo, hi
+
+
+def simulate_qf_run(
+    machine: MachineSpec,
+    n_nodes: int,
+    fragment_sizes: np.ndarray,
+    cost_model: FragmentCostModel | None = None,
+    policy=None,
+    prefetch: bool = True,
+    job_noise: float = 0.01,
+    seed: int = 0,
+    speedup: float = 1.0,
+    leader_costs: np.ndarray | None = None,
+    straggler_prob: float = 0.0,
+    straggler_factor: float = 20.0,
+    timeout_factor: float = 6.0,
+) -> SchedulerReport:
+    """Simulate one QF-RAMAN production run.
+
+    Parameters
+    ----------
+    fragment_sizes:
+        Atom count of every fragment (the workload).
+    policy:
+        Packing policy (default: the paper's size-sensitive policy).
+        :class:`RoundRobinPolicy` switches to static pre-partitioning.
+    prefetch:
+        Task prefetching (Fig. 4d); the paper disables this for the
+        water-dimer runs of Fig. 8 to showcase its effect.
+    speedup:
+        Uniform per-job speed factor — used by the step-by-step
+        optimization benches (symmetry reduction / offloading change
+        per-fragment speed, not scheduling).
+    leader_costs:
+        Optional precomputed per-fragment leader wall times (overrides
+        ``cost_model``; lets mixed workloads combine several models).
+    straggler_prob:
+        Fault-tolerance model (paper §V-B: "fragments processed for a
+        long time but not yet completed are marked un-processed again").
+        Each task independently stalls with this probability, running
+        ``straggler_factor``x slower; the master detects tasks exceeding
+        ``timeout_factor`` times their expected duration and re-issues
+        the work to another leader (first completion wins).
+    """
+    if n_nodes > machine.total_nodes:
+        raise ValueError(f"{machine.name}: {n_nodes} > {machine.total_nodes} nodes")
+    policy = policy or SystemSizeSensitivePolicy()
+    rng = np.random.default_rng(seed)
+    sizes = np.asarray(fragment_sizes)
+    workers = machine.workers_per_leader
+    if leader_costs is None:
+        if cost_model is None:
+            raise ValueError("need cost_model or leader_costs")
+        leader_costs = cost_model.leader_time(sizes, workers)
+    leader_costs = np.asarray(leader_costs, dtype=float) / speedup
+
+    # per-node speed factors (manufacturing/thermal variation)
+    node_speed = rng.lognormal(mean=0.0, sigma=machine.node_speed_jitter,
+                               size=n_nodes)
+
+    busy = np.zeros(n_nodes)
+    finish = np.zeros(n_nodes)
+    ntasks = np.zeros(n_nodes, dtype=int)
+
+    if isinstance(policy, RoundRobinPolicy):
+        # static pre-partition: no master, no messages
+        order = np.argsort(leader_costs)[::-1]
+        for rank, f in enumerate(order):
+            leader = rank % n_nodes
+            noise = rng.lognormal(0.0, job_noise)
+            dt = leader_costs[f] * node_speed[leader] * noise
+            busy[leader] += dt
+            ntasks[leader] += 1
+        finish = busy.copy()
+        return SchedulerReport(
+            machine=machine.name, n_nodes=n_nodes, n_fragments=sizes.size,
+            makespan=float(busy.max()), busy_times=busy, finish_times=finish,
+            tasks_assigned=ntasks, events=0,
+        )
+
+    pool = FragmentPool(sizes, leader_costs)
+    sim = Simulator()
+    master_busy_until = 0.0
+    outstanding = 0          # unique tasks assigned but not yet completed
+    leader_free = np.zeros(n_nodes)  # when each leader finishes queued work
+    next_tid = 0
+    task_done: set[int] = set()
+    idle_leaders: list[int] = []              # leaders parked on empty pool
+    reissues = 0
+    work_done_at = 0.0   # when the last unique task FIRST completed:
+    # a reissued task's original (straggling) copy may still be running
+    # past this point, but the production result exists — that zombie
+    # time counts as node busy time, not as application makespan
+
+    def issue(leader: int, tid: int, tcosts: np.ndarray, fresh: bool) -> None:
+        """Assign a task (fresh from the pool or a reissue) to a leader."""
+        nonlocal outstanding, reissues
+        if fresh:
+            outstanding += 1
+        else:
+            reissues += 1
+        noise = rng.lognormal(0.0, job_noise, size=tcosts.size)
+        duration = float((tcosts * noise).sum()) * node_speed[leader]
+        expected = float(tcosts.sum())
+        if straggler_prob > 0.0 and rng.random() < straggler_prob:
+            duration *= straggler_factor
+
+        def deliver():
+            # a leader executes tasks strictly in sequence; a prefetched
+            # task waits until the current one finishes (Fig. 4d)
+            start_exec = max(sim.now, leader_free[leader])
+            end = start_exec + duration
+            leader_free[leader] = end
+            if prefetch:
+                # request the next task the moment this one starts, so
+                # the master round trip overlaps the execution
+                sim.schedule(
+                    (start_exec - sim.now) + machine.comm_latency_s,
+                    lambda: master_signal(leader),
+                )
+            if straggler_prob > 0.0:
+                # the master watches for tasks not completed within a
+                # multiple of their expected time *since assignment* —
+                # this also covers tasks trapped in the queue behind a
+                # straggling leader. A task merely waiting behind
+                # ordinary work may occasionally be re-executed
+                # speculatively; first completion wins, so that only
+                # costs duplicate cycles, never correctness.
+                sim.schedule(
+                    timeout_factor * max(expected, 1e-9),
+                    lambda: timeout_check(tid, tcosts),
+                )
+
+            def complete():
+                nonlocal outstanding, work_done_at
+                busy[leader] += duration
+                finish[leader] = max(finish[leader], sim.now)
+                ntasks[leader] += 1
+                first = tid not in task_done
+                task_done.add(tid)
+                if first:
+                    outstanding -= 1
+                    work_done_at = max(work_done_at, sim.now)
+                if not prefetch:
+                    sim.schedule(machine.comm_latency_s,
+                                 lambda: master_signal(leader))
+                elif straggler_prob > 0.0:
+                    # in fault-tolerant mode completions also re-park
+                    # the leader so pending reissues can find it
+                    sim.schedule(machine.comm_latency_s,
+                                 lambda: master_signal(leader))
+
+            sim.schedule(end - sim.now, complete)
+
+        sim.schedule(
+            max(0.0, (master_busy_until + machine.comm_latency_s) - sim.now),
+            deliver,
+        )
+
+    def timeout_check(tid: int, tcosts: np.ndarray) -> None:
+        if tid in task_done:
+            return
+        # re-queue the work on a parked leader that is genuinely free
+        # (a prefetching leader may have parked while still executing —
+        # possibly the very leader that is straggling); if none, poll
+        # again — retrying is cheap in virtual time and guarantees the
+        # reissue happens even after the final ordinary completion
+        for k, leader in enumerate(idle_leaders):
+            if leader_free[leader] <= sim.now:
+                idle_leaders.pop(k)
+                issue(leader, tid, tcosts, fresh=False)
+                return
+        sim.schedule(
+            max(1e-6, 0.25 * float(tcosts.sum())),
+            lambda: timeout_check(tid, tcosts),
+        )
+
+    def master_signal(leader: int) -> None:
+        """leader-available arrives at the master; reply with a task."""
+        nonlocal master_busy_until, next_tid
+        start = max(sim.now, master_busy_until)
+        master_busy_until = start + machine.master_service_s
+        if pool.empty():
+            if straggler_prob > 0.0 and leader not in idle_leaders:
+                idle_leaders.append(leader)
+            return
+        count = policy.next_count(pool, n_nodes)
+        _tsizes, tcosts, _tcost = pool.take(count)
+        tid = next_tid
+        next_tid += 1
+        issue(leader, tid, tcosts, fresh=True)
+
+    for leader in range(n_nodes):
+        # initial availability announcements
+        sim.schedule(machine.comm_latency_s,
+                     lambda l=leader: master_signal(l))
+
+    sim.run()
+    if not pool.empty() or outstanding != 0:
+        raise RuntimeError("simulation ended with unprocessed work")
+    return SchedulerReport(
+        machine=machine.name, n_nodes=n_nodes, n_fragments=sizes.size,
+        makespan=float(work_done_at), busy_times=busy, finish_times=finish,
+        tasks_assigned=ntasks, events=sim.events_processed,
+        extras={"reissues": reissues},
+    )

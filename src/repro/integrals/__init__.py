@@ -1,0 +1,18 @@
+"""Molecular integrals over contracted cartesian Gaussians.
+
+Two implementations of the McMurchie–Davidson scheme:
+
+* :mod:`repro.integrals.mcmurchie` — scalar reference, memoized
+  recursions, any angular momentum. Used for validation and as the
+  fallback for rare integral classes.
+* :mod:`repro.integrals.engine` — vectorized engine used by the SCF and
+  DFPT code: one-electron matrices, Schwarz-screened ERI tensor, dipole
+  integrals, and first-derivative integrals for analytic gradients.
+
+Both produce identical numbers (tested against each other and against
+literature SCF energies).
+"""
+
+from repro.integrals.engine import IntegralEngine
+
+__all__ = ["IntegralEngine"]

@@ -1,0 +1,92 @@
+"""Symmetry-aware strength reduction (paper §V-D, Fig. 6).
+
+Both optimizations are implemented on the real matrices of the DFPT
+worker (basis values chi and gradients grad-chi on grid batches, the
+symmetric response density matrix P(1)) and verified equal to the
+naive forms in the tests; FLOPs are counted exactly so the Fig. 9
+speedup decomposition is measurable, not asserted.
+
+Fig. 6(a) — first-order Hamiltonian integration:
+    chi^T chi + chi^T dchi + dchi^T chi
+      = M + M^T   with  M = chi^T (chi/2 + dchi)
+    3 GEMMs -> 1 GEMM (the matrix add is O(n^2), negligible).
+
+Fig. 6(b) — response density gradient, using P(1) symmetric:
+    grad rho1 = chi P(1) dchi + dchi P(1) chi = 2 * rowsum(chi P(1) ∘ dchi)
+    2 GEMMs + 2 GEMVs -> 1 GEMM + 1 GEMV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.flops import FlopCounter, gemm_flops, gemv_flops
+
+
+def h1_integration_naive(
+    chi: np.ndarray, dchi: np.ndarray, flops: FlopCounter | None = None
+) -> np.ndarray:
+    """Three-GEMM evaluation of chi^T chi + chi^T dchi + dchi^T chi.
+
+    ``chi``/``dchi`` are (npoints, nbf) grid batches (dchi is one
+    cartesian component of the gradient, pre-multiplied by quadrature
+    weights upstream).
+    """
+    npts, nbf = chi.shape
+    out = chi.T @ chi
+    out += chi.T @ dchi
+    out += dchi.T @ chi
+    if flops is not None:
+        flops.add("h1", 3 * gemm_flops(nbf, nbf, npts))
+    return out
+
+
+def h1_integration_symmetric(
+    chi: np.ndarray, dchi: np.ndarray, flops: FlopCounter | None = None
+) -> np.ndarray:
+    """One-GEMM evaluation via the symmetric split (Fig. 6a)."""
+    npts, nbf = chi.shape
+    m = chi.T @ (0.5 * chi + dchi)
+    if flops is not None:
+        flops.add("h1", gemm_flops(nbf, nbf, npts))
+    return m + m.T
+
+
+def rho1_gradient_naive(
+    chi: np.ndarray,
+    dchi: np.ndarray,
+    p1: np.ndarray,
+    flops: FlopCounter | None = None,
+) -> np.ndarray:
+    """Two-GEMM + two-GEMV evaluation of grad rho1 on the grid batch.
+
+    grad rho1(r_p) = sum_mn chi_m(r_p) P1_mn dchi_n(r_p)
+                   + sum_mn dchi_m(r_p) P1_mn chi_n(r_p).
+    """
+    npts, nbf = chi.shape
+    t1 = chi @ p1           # GEMM
+    t2 = dchi @ p1          # GEMM
+    out = np.einsum("pm,pm->p", t1, dchi)   # row-wise GEMV equivalents
+    out += np.einsum("pm,pm->p", t2, chi)
+    if flops is not None:
+        flops.add("rho1_grad", 2 * gemm_flops(npts, nbf, nbf))
+        flops.add("rho1_grad", 2 * npts * gemv_flops(1, nbf))
+    return out
+
+
+def rho1_gradient_symmetric(
+    chi: np.ndarray,
+    dchi: np.ndarray,
+    p1: np.ndarray,
+    flops: FlopCounter | None = None,
+) -> np.ndarray:
+    """One-GEMM + one-GEMV evaluation exploiting P(1) = P(1)^T (Fig. 6b)."""
+    if not np.allclose(p1, p1.T, atol=1e-10):
+        raise ValueError("rho1_gradient_symmetric requires a symmetric P(1)")
+    npts, nbf = chi.shape
+    t1 = chi @ p1
+    out = 2.0 * np.einsum("pm,pm->p", t1, dchi)
+    if flops is not None:
+        flops.add("rho1_grad", gemm_flops(npts, nbf, nbf))
+        flops.add("rho1_grad", npts * gemv_flops(1, nbf))
+    return out

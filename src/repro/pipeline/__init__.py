@@ -1,0 +1,18 @@
+"""End-to-end QF-RAMAN driver.
+
+Chains the full workflow of the paper: geometry → QF decomposition →
+per-piece DFPT responses (the master/leader/worker payload) →
+Eq. (1) assembly → Raman spectrum via dense diagonalization or the
+Lanczos/GAGQ solver. Also exposes the bridge that maps a decomposition
+onto the simulated supercomputers for timing studies.
+"""
+
+from repro.pipeline.qf_raman import PipelineResult, QFRamanPipeline
+from repro.pipeline.rigid import kabsch_rotation, rotate_response
+
+__all__ = [
+    "PipelineResult",
+    "QFRamanPipeline",
+    "kabsch_rotation",
+    "rotate_response",
+]

@@ -1,0 +1,86 @@
+"""On-disk cache for fragment responses.
+
+A production QF run is hours of independent piece calculations; loss of
+a process should not lose finished work (the paper's master re-queues
+unfinished fragments — finished ones live in its result store). This
+module is that result store for the laptop pipeline: each
+:class:`~repro.dfpt.hessian.FragmentResponse` is keyed by an exact
+geometry hash (symbols + coordinates rounded to 1e-9 bohr + the level
+of theory) and saved as one ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.dfpt.hessian import FragmentResponse
+from repro.geometry.atoms import Geometry
+
+
+def response_key(geometry: Geometry, basis_name: str, delta: float) -> str:
+    """Exact-content hash of (geometry, level of theory)."""
+    h = hashlib.sha256()
+    h.update(",".join(geometry.symbols).encode())
+    h.update(np.round(geometry.coords, 9).tobytes())
+    h.update(f"|{geometry.charge}|{basis_name}|{delta:.3e}".encode())
+    return h.hexdigest()[:24]
+
+
+class ResponseCache:
+    """Directory-backed store of fragment responses."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"resp_{key}.npz"
+
+    def load(self, geometry: Geometry, basis_name: str, delta: float
+             ) -> FragmentResponse | None:
+        path = self._path(response_key(geometry, basis_name, delta))
+        if not path.exists():
+            self.misses += 1
+            return None
+        data = np.load(path, allow_pickle=False)
+        self.hits += 1
+
+        def opt(name):
+            return data[name] if name in data.files else None
+
+        return FragmentResponse(
+            geometry=geometry,
+            energy=float(data["energy"]),
+            hessian=data["hessian"],
+            dalpha_dr=opt("dalpha_dr"),
+            alpha=opt("alpha"),
+            gradient=data["gradient"],
+            dmu_dr=opt("dmu_dr"),
+            meta={"cached": True},
+        )
+
+    def store(self, response: FragmentResponse, basis_name: str,
+              delta: float) -> Path:
+        key = response_key(response.geometry, basis_name, delta)
+        path = self._path(key)
+        payload = {
+            "energy": np.array(response.energy),
+            "hessian": response.hessian,
+            "gradient": response.gradient,
+        }
+        for name in ("dalpha_dr", "alpha", "dmu_dr"):
+            val = getattr(response, name)
+            if val is not None:
+                payload[name] = val
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez_compressed(tmp, **payload)
+        tmp.replace(path)  # atomic on POSIX: a crash never leaves half a file
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("resp_*.npz"))

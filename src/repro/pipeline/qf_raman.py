@@ -1,0 +1,244 @@
+"""The QF-RAMAN pipeline driver.
+
+Equivalent of the paper's production run at laptop scale:
+
+1. decompose protein + waters into QF pieces (Eq. 1),
+2. compute each unique piece's Hessian and Raman tensor with the
+   DFPT displacement loop (rigid duplicates are rotated, not
+   recomputed),
+3. assemble the global Hessian / polarizability derivative,
+4. evaluate the Raman spectrum with the dense baseline or the
+   Lanczos + GAGQ solver (§V-E).
+
+The driver also exports the fragment-size workload so the same
+decomposition can be fed to the simulated supercomputers
+(:func:`repro.hpc.scheduler.simulate_qf_run`) for timing studies —
+that bridge is what connects the chemistry half of this repository to
+the scaling half.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dfpt.hessian import FragmentResponse, fragment_response
+from repro.fragment.assembly import (
+    AssembledResponse,
+    assemble_response,
+    assemble_sparse_hessian,
+)
+from repro.fragment.fragmenter import QFDecomposition, decompose_system
+from repro.geometry.atoms import Geometry
+from repro.geometry.protein import BuiltResidue
+from repro.pipeline.rigid import (
+    geometry_signature,
+    kabsch_rotation,
+    rotate_response,
+)
+from repro.spectra.raman import (
+    RamanSpectrum,
+    raman_spectrum_dense,
+    raman_spectrum_lanczos,
+)
+from repro.utils.timing import Timer
+
+
+@dataclass
+class PipelineResult:
+    """Everything a QF-RAMAN run produces."""
+
+    decomposition: QFDecomposition
+    responses: list[FragmentResponse]
+    assembled: AssembledResponse
+    spectrum: RamanSpectrum | None
+    masses_amu: np.ndarray
+    unique_pieces: int
+    timer: Timer = field(default_factory=Timer)
+
+    @property
+    def natoms(self) -> int:
+        return self.assembled.natoms
+
+
+class QFRamanPipeline:
+    """Configure once, run the whole chain."""
+
+    def __init__(
+        self,
+        protein: Geometry | None = None,
+        residues: list[BuiltResidue] | None = None,
+        waters: list[Geometry] | None = None,
+        lambda_angstrom: float = 4.0,
+        min_sequence_separation: int = 3,
+        basis_name: str = "sto-3g",
+        eri_mode: str = "auto",
+        dedupe_rigid: bool = True,
+        compute_raman: bool = True,
+        delta: float = 5.0e-3,
+        relax_waters: bool = False,
+        cache_dir: str | None = None,
+        verbose: bool = False,
+    ):
+        if protein is None and not waters:
+            raise ValueError("pipeline needs a protein, waters, or both")
+        self.protein = protein
+        self.residues = residues
+        self.waters = waters or []
+        if relax_waters and self.waters:
+            # optimize one monomer, snap every copy onto it — removes
+            # intramolecular strain from the generator geometry so the
+            # O-H bands sit at the level-of-theory positions
+            from repro.pipeline.rigid import snap_rigid_copies
+            from repro.scf.optimize import optimize_geometry
+
+            opt = optimize_geometry(
+                self.waters[0], basis_name=basis_name, eri_mode=eri_mode
+            )
+            self.waters = snap_rigid_copies(self.waters, opt.geometry)
+        self.lambda_angstrom = lambda_angstrom
+        self.min_sequence_separation = min_sequence_separation
+        self.basis_name = basis_name
+        self.eri_mode = eri_mode
+        self.dedupe_rigid = dedupe_rigid
+        self.compute_raman = compute_raman
+        self.delta = delta
+        self.verbose = verbose
+        self.timer = Timer()
+        self.cache = None
+        if cache_dir is not None:
+            from repro.pipeline.cache import ResponseCache
+
+            self.cache = ResponseCache(cache_dir)
+
+    # -- steps -----------------------------------------------------------------
+
+    def decompose(self) -> QFDecomposition:
+        with self.timer.section("decompose"):
+            return decompose_system(
+                protein=self.protein,
+                residues=self.residues,
+                waters=self.waters,
+                lambda_angstrom=self.lambda_angstrom,
+                min_sequence_separation=self.min_sequence_separation,
+            )
+
+    def compute_responses(self, decomposition: QFDecomposition
+                          ) -> tuple[list[FragmentResponse], int]:
+        """One :class:`FragmentResponse` per piece (rigid copies reused)."""
+        cache: dict[tuple, tuple[FragmentResponse, Geometry]] = {}
+        responses: list[FragmentResponse] = []
+        unique = 0
+        for k, piece in enumerate(decomposition.pieces):
+            sig = geometry_signature(piece.geometry) if self.dedupe_rigid else None
+            if sig is not None and sig in cache:
+                ref_resp, ref_geom = cache[sig]
+                rot, _t, rmsd = kabsch_rotation(
+                    ref_geom.coords, piece.geometry.coords
+                )
+                if rmsd < 1.0e-6:
+                    with self.timer.section("rotate_response"):
+                        responses.append(
+                            rotate_response(ref_resp, rot, piece.geometry)
+                        )
+                    continue
+            if self.cache is not None:
+                stored = self.cache.load(piece.geometry, self.basis_name,
+                                         self.delta)
+                if stored is not None and (
+                    not self.compute_raman or stored.dalpha_dr is not None
+                ):
+                    responses.append(stored)
+                    if sig is not None:
+                        cache[sig] = (stored, piece.geometry)
+                    continue
+            self._log(
+                f"[{k + 1}/{len(decomposition.pieces)}] response for "
+                f"{piece.label} ({piece.natoms} atoms)"
+            )
+            with self.timer.section("fragment_response"):
+                resp = fragment_response(
+                    piece.geometry,
+                    delta=self.delta,
+                    compute_raman=self.compute_raman,
+                    basis_name=self.basis_name,
+                    eri_mode=self.eri_mode,
+                )
+            unique += 1
+            responses.append(resp)
+            if self.cache is not None:
+                self.cache.store(resp, self.basis_name, self.delta)
+            if sig is not None:
+                cache[sig] = (resp, piece.geometry)
+        return responses, unique
+
+    def masses(self) -> np.ndarray:
+        parts = []
+        if self.protein is not None:
+            parts.append(self.protein.masses)
+        for w in self.waters:
+            parts.append(w.masses)
+        return np.concatenate(parts)
+
+    # -- the full run -------------------------------------------------------------
+
+    def run(
+        self,
+        omega_cm1: np.ndarray | None = None,
+        sigma_cm1: float = 20.0,
+        solver: str = "dense",
+        lanczos_k: int = 150,
+        convention: str = "standard",
+    ) -> PipelineResult:
+        decomposition = self.decompose()
+        self._log(
+            f"decomposed into {len(decomposition.pieces)} pieces "
+            f"({decomposition.counts})"
+        )
+        responses, unique = self.compute_responses(decomposition)
+        with self.timer.section("assemble"):
+            assembled = assemble_response(
+                decomposition.pieces, responses, decomposition.natoms_total
+            )
+        masses = self.masses()
+        spectrum = None
+        if omega_cm1 is not None and self.compute_raman:
+            with self.timer.section("spectrum"):
+                if solver == "dense":
+                    spectrum = raman_spectrum_dense(
+                        assembled.hessian, assembled.dalpha_dr, masses,
+                        omega_cm1, sigma_cm1, convention=convention,
+                    )
+                elif solver == "lanczos":
+                    h_mw = assemble_sparse_hessian(
+                        decomposition.pieces, responses,
+                        decomposition.natoms_total, masses_amu=masses,
+                    )
+                    spectrum = raman_spectrum_lanczos(
+                        h_mw, assembled.dalpha_dr, masses, omega_cm1,
+                        sigma_cm1, k=lanczos_k, convention=convention,
+                        mass_weighted=True,
+                    )
+                else:
+                    raise ValueError(f"unknown solver {solver!r}")
+        return PipelineResult(
+            decomposition=decomposition,
+            responses=responses,
+            assembled=assembled,
+            spectrum=spectrum,
+            masses_amu=masses,
+            unique_pieces=unique,
+            timer=self.timer,
+        )
+
+    def workload_sizes(self, decomposition: QFDecomposition | None = None
+                       ) -> np.ndarray:
+        """Fragment sizes for the HPC scheduler simulation."""
+        decomposition = decomposition or self.decompose()
+        return np.array([p.natoms for p in decomposition.pieces])
+
+    def _log(self, msg: str) -> None:
+        if self.verbose:
+            print(f"[qf-raman] {msg}", file=sys.stderr, flush=True)

@@ -1,0 +1,13 @@
+"""Self-consistent field engine.
+
+Restricted Hartree–Fock with DIIS convergence acceleration over the
+exact ERI tensor (small fragments) or density-fitted Coulomb/exchange
+builds (the production path for QF fragments), plus a restricted
+Kohn–Sham (LDA) mode using the real-space grid machinery in
+:mod:`repro.scf.grid` / :mod:`repro.scf.xc`.
+"""
+
+from repro.scf.rhf import RHF, SCFResult
+from repro.scf.df import DensityFitting, auto_aux_basis
+
+__all__ = ["RHF", "SCFResult", "DensityFitting", "auto_aux_basis"]

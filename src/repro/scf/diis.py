@@ -1,0 +1,70 @@
+"""DIIS (direct inversion in the iterative subspace) for SCF.
+
+Pulay's commutator-DIIS: the error vector of a Fock matrix F for
+density P with overlap S is e = FPS - SPF (zero at convergence); the
+extrapolated Fock matrix minimizes the norm of the linear combination
+of stored error vectors under the constraint that coefficients sum to 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DIIS:
+    """Fock-matrix extrapolation with a bounded history."""
+
+    def __init__(self, max_vectors: int = 8):
+        if max_vectors < 2:
+            raise ValueError("DIIS needs at least 2 vectors")
+        self.max_vectors = max_vectors
+        self._focks: list[np.ndarray] = []
+        self._errors: list[np.ndarray] = []
+
+    @property
+    def nvec(self) -> int:
+        return len(self._focks)
+
+    def push(self, fock: np.ndarray, density: np.ndarray, overlap: np.ndarray) -> float:
+        """Store a Fock matrix; returns the max-abs DIIS error."""
+        err = fock @ density @ overlap - overlap @ density @ fock
+        self._focks.append(fock.copy())
+        self._errors.append(err)
+        if len(self._focks) > self.max_vectors:
+            self._focks.pop(0)
+            self._errors.pop(0)
+        return float(np.abs(err).max())
+
+    def extrapolate(self) -> np.ndarray:
+        """Return the DIIS-extrapolated Fock matrix."""
+        n = len(self._focks)
+        if n == 0:
+            raise RuntimeError("no Fock matrices stored")
+        if n == 1:
+            return self._focks[0]
+        b = np.empty((n + 1, n + 1))
+        b[-1, :] = -1.0
+        b[:, -1] = -1.0
+        b[-1, -1] = 0.0
+        for i in range(n):
+            for j in range(i, n):
+                v = float(np.vdot(self._errors[i], self._errors[j]))
+                b[i, j] = v
+                b[j, i] = v
+        rhs = np.zeros(n + 1)
+        rhs[-1] = -1.0
+        try:
+            coeff = np.linalg.solve(b, rhs)[:n]
+        except np.linalg.LinAlgError:
+            # singular subspace: drop oldest vector and retry
+            self._focks.pop(0)
+            self._errors.pop(0)
+            return self.extrapolate()
+        out = np.zeros_like(self._focks[0])
+        for c, f in zip(coeff, self._focks):
+            out += c * f
+        return out
+
+    def reset(self) -> None:
+        self._focks.clear()
+        self._errors.clear()

@@ -1,0 +1,65 @@
+"""MP2 correlation energy (exact-ERI and RI/density-fitted).
+
+The fragment-method lineage the paper builds on includes correlated
+fragment calculations — its reference [28] is the 146,592-atom
+FMO-MP2 run on Summit. Per-fragment MP2 drops straight into the QF
+machinery here: closed-shell canonical MP2 with
+
+    E2 = sum_iajb (ia|jb) [ 2 (ia|jb) - (ib|ja) ] / (e_i+e_j-e_a-e_b)
+
+using either the exact ERI tensor (small pieces) or the DF B tensor —
+(ia|jb) = sum_P B_iaP B_jbP — which is the production path, identical
+in structure to RI-MP2 in large-scale codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scf.rhf import SCFResult
+
+
+def mp2_energy(scf: SCFResult) -> float:
+    """Closed-shell MP2 correlation energy for a converged SCF state."""
+    if not scf.converged:
+        raise ValueError("MP2 requires a converged SCF reference")
+    nocc = scf.nocc
+    c_o = scf.mo_coeff[:, :nocc]
+    c_v = scf.mo_coeff[:, nocc:]
+    e_o = scf.mo_energy[:nocc]
+    e_v = scf.mo_energy[nocc:]
+    nvirt = c_v.shape[1]
+    if nvirt == 0:
+        return 0.0
+
+    if scf.eri is not None:
+        # (ia|jb): transform the exact AO tensor
+        ovov = np.einsum(
+            "pqrs,pi,qa,rj,sb->iajb",
+            scf.eri, c_o, c_v, c_o, c_v, optimize=True,
+        )
+    else:
+        # RI route: B_iaP = C_o^T b C_v per auxiliary index
+        b = scf.df.b
+        naux = b.shape[2]
+        nbf = b.shape[0]
+        # (nbf,nbf,P) -> (i,a,P)
+        half = np.tensordot(c_o, b, axes=(0, 0))          # (i, nbf, P)
+        b_ia = np.tensordot(half, c_v, axes=(1, 0))       # (i, P, a) -> fix
+        b_ia = b_ia.transpose(0, 2, 1)                    # (i, a, P)
+        ovov = np.einsum("iaP,jbP->iajb", b_ia, b_ia, optimize=True)
+
+    denom = (
+        e_o[:, None, None, None]
+        + e_o[None, None, :, None]
+        - e_v[None, :, None, None]
+        - e_v[None, None, None, :]
+    )
+    t = ovov / denom
+    e2 = float(np.sum(t * (2.0 * ovov - ovov.transpose(0, 3, 2, 1))))
+    return e2
+
+
+def mp2_total_energy(scf: SCFResult) -> float:
+    """HF + MP2 total energy."""
+    return scf.energy + mp2_energy(scf)

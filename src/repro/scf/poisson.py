@@ -1,0 +1,123 @@
+"""FFT Poisson solver on a uniform box grid.
+
+The third phase of the paper's DFPT worker cycle solves the Poisson
+equation for the electrostatic response potential v(1)_es from the
+response density n(1)(r). On a uniform grid with zero-padding (to
+suppress periodic images), nabla^2 v = -4 pi n is solved spectrally:
+v_k = 4 pi n_k / |k|^2.
+
+This is the real substrate behind the "poisson" phase of the Table I
+kernel benchmark; accuracy is validated against the analytic potential
+of a Gaussian charge (erf(sqrt(a) r)/r) in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class UniformGrid:
+    """A cubic uniform grid: origin + n^3 points with spacing h (bohr)."""
+
+    origin: np.ndarray
+    n: int
+    h: float
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.n, self.n, self.n)
+
+    def axes(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ax = self.origin[0] + self.h * np.arange(self.n)
+        ay = self.origin[1] + self.h * np.arange(self.n)
+        az = self.origin[2] + self.h * np.arange(self.n)
+        return ax, ay, az
+
+    def points(self) -> np.ndarray:
+        ax, ay, az = self.axes()
+        g = np.stack(np.meshgrid(ax, ay, az, indexing="ij"), axis=-1)
+        return g.reshape(-1, 3)
+
+    @property
+    def volume_element(self) -> float:
+        return self.h ** 3
+
+
+def grid_for_geometry(coords_bohr: np.ndarray, n: int = 64,
+                      margin: float = 6.0) -> UniformGrid:
+    """A cube covering the coordinates plus ``margin`` bohr."""
+    coords = np.asarray(coords_bohr, dtype=float).reshape(-1, 3)
+    lo = coords.min(axis=0) - margin
+    hi = coords.max(axis=0) + margin
+    side = float((hi - lo).max())
+    h = side / (n - 1)
+    center = 0.5 * (lo + hi)
+    origin = center - 0.5 * side
+    return UniformGrid(origin=origin, n=n, h=h)
+
+
+#: average of 1/|r| over a unit cube centered at the origin — the
+#: standard self-cell value for the discretized Coulomb kernel
+_SELF_CELL = 2.3800774
+
+
+def solve_poisson(density: np.ndarray, h: float, pad_factor: int = 2
+                  ) -> np.ndarray:
+    """Solve nabla^2 v = -4 pi n with free (open) boundary conditions.
+
+    Hockney's method: zero-pad the density to ``pad_factor * n`` and
+    convolve with the free-space Coulomb kernel G(r) = 1/|r| sampled on
+    the padded grid with minimum-image distances (the self cell uses
+    the analytic cube average of 1/r). Because the source occupies at
+    most half the padded box in every dimension, the circular
+    convolution equals the free-space one exactly — no periodic-image
+    or zero-mean-gauge artifacts, unlike a bare 4 pi / k^2 solve.
+    """
+    density = np.asarray(density, dtype=float)
+    n = density.shape[0]
+    if density.shape != (n, n, n):
+        raise ValueError("density must be a cube")
+    if pad_factor < 2:
+        raise ValueError("pad_factor must be >= 2 for an exact convolution")
+    npad = pad_factor * n
+    work = np.zeros((npad, npad, npad))
+    work[:n, :n, :n] = density
+
+    # minimum-image radial distances on the padded periodic grid
+    idx = np.fft.fftfreq(npad, d=1.0 / npad)  # 0, 1, ..., -1 pattern
+    x = idx * h
+    r2 = x[:, None, None] ** 2 + x[None, :, None] ** 2 + x[None, None, :] ** 2
+    with np.errstate(divide="ignore"):
+        green = 1.0 / np.sqrt(r2)
+    green[0, 0, 0] = _SELF_CELL / h
+    v = np.fft.irfftn(
+        np.fft.rfftn(work) * np.fft.rfftn(green),
+        s=(npad, npad, npad), axes=(0, 1, 2),
+    ) * h ** 3
+    return v[:n, :n, :n]
+
+
+def gaussian_density(grid: UniformGrid, center, alpha: float, charge: float = 1.0
+                     ) -> np.ndarray:
+    """Normalized Gaussian charge density on the grid (test workload)."""
+    pts = grid.points()
+    r2 = np.sum((pts - np.asarray(center)[None, :]) ** 2, axis=1)
+    rho = charge * (alpha / np.pi) ** 1.5 * np.exp(-alpha * r2)
+    return rho.reshape(grid.shape)
+
+
+def gaussian_potential_exact(grid: UniformGrid, center, alpha: float,
+                             charge: float = 1.0) -> np.ndarray:
+    """Analytic potential of the Gaussian charge: q erf(sqrt(a) r)/r."""
+    from scipy.special import erf
+
+    pts = grid.points()
+    r = np.sqrt(np.sum((pts - np.asarray(center)[None, :]) ** 2, axis=1))
+    small = r < 1e-10
+    rs = np.where(small, 1.0, r)
+    v = charge * erf(np.sqrt(alpha) * rs) / rs
+    v = np.where(small, charge * 2.0 * np.sqrt(alpha / np.pi), v)
+    return v.reshape(grid.shape)

@@ -1,0 +1,60 @@
+"""IR spectra (extension beyond the paper's Raman focus).
+
+The same displacement loop that yields dα/dR also yields the dipole
+derivative dμ/dR essentially for free; the IR intensity of mode p is
+
+    A_p ∝ | dμ/dQ_p |²  with  dμ/dQ_p = Σ_Ij (dμ/dξ_Ij) e_{Ij,p}
+
+(mass-weighted coordinates exactly as in the paper's Eq. 2-3). IR and
+Raman are complementary probes — codes the paper compares against
+(FHI-aims, Quantum ESPRESSO) ship both, so a credible release does too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spectra.modes import normal_modes
+from repro.spectra.raman import RamanSpectrum, gaussian_lineshape
+
+
+def ir_intensities(dmu_dq: np.ndarray) -> np.ndarray:
+    """Per-mode IR intensity |dmu/dQ_p|^2 from (nmodes, 3) derivatives."""
+    d = np.asarray(dmu_dq, dtype=float)
+    if d.ndim != 2 or d.shape[1] != 3:
+        raise ValueError("dmu_dq must be (nmodes, 3)")
+    return np.sum(d * d, axis=1)
+
+
+def ir_spectrum_dense(
+    hessian: np.ndarray,
+    dmu_dr: np.ndarray,
+    masses_amu: np.ndarray,
+    omega_cm1: np.ndarray,
+    sigma_cm1: float = 10.0,
+    freq_threshold_cm1: float = 50.0,
+) -> RamanSpectrum:
+    """Broadened IR spectrum via full diagonalization.
+
+    ``dmu_dr`` has shape (3N, 3): cartesian dipole derivatives. Returns
+    the same spectrum container used for Raman (position/intensity).
+    """
+    masses = np.asarray(masses_amu, dtype=float)
+    modes = normal_modes(hessian, masses)
+    inv_sqrt = 1.0 / np.sqrt(np.repeat(masses, 3))
+    dmu_xi = np.asarray(dmu_dr, dtype=float) * inv_sqrt[:, None]
+    dmu_dq = modes.eigenvectors.T @ dmu_xi       # (nmodes, 3)
+    intens = ir_intensities(dmu_dq)
+    vib = modes.vibrational(freq_threshold_cm1)
+    omega = np.asarray(omega_cm1, dtype=float)
+    out = np.zeros_like(omega)
+    for p in vib:
+        out += intens[p] * gaussian_lineshape(
+            omega, modes.frequencies_cm1[p], sigma_cm1
+        )
+    return RamanSpectrum(
+        omega_cm1=omega,
+        intensity=out,
+        frequencies_cm1=modes.frequencies_cm1[vib],
+        activities=intens[vib],
+    )

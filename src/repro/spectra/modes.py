@@ -1,0 +1,127 @@
+"""Normal-mode analysis (dense baseline).
+
+Mass-weighting and full diagonalization of the Hessian — the
+conventional route the paper replaces with the Lanczos/GAGQ solver for
+very large systems. Kept as the exact reference for validation and for
+per-fragment analyses where 3N is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import HESSIAN_TO_CM1
+
+
+def mass_weighted_hessian(hessian: np.ndarray, masses_amu: np.ndarray) -> np.ndarray:
+    """H_mw[Ii,Jj] = H[Ii,Jj] / sqrt(M_I M_J), masses in amu.
+
+    ``hessian`` is (3N, 3N) in hartree/bohr^2; the result's eigenvalues
+    convert to wavenumbers via :func:`frequencies_from_eigenvalues`.
+    """
+    hessian = np.asarray(hessian, dtype=float)
+    masses_amu = np.asarray(masses_amu, dtype=float).ravel()
+    n3 = hessian.shape[0]
+    if hessian.shape != (n3, n3) or n3 != 3 * masses_amu.size:
+        raise ValueError("hessian/mass dimension mismatch")
+    inv_sqrt = 1.0 / np.sqrt(np.repeat(masses_amu, 3))
+    return hessian * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def frequencies_from_eigenvalues(eigenvalues: np.ndarray) -> np.ndarray:
+    """Convert mass-weighted Hessian eigenvalues to signed wavenumbers.
+
+    Negative eigenvalues (imaginary modes / FD noise in the
+    translational block) map to negative wavenumbers.
+    """
+    ev = np.asarray(eigenvalues, dtype=float)
+    return np.sign(ev) * np.sqrt(np.abs(ev)) * HESSIAN_TO_CM1
+
+
+@dataclass
+class NormalModes:
+    """Full normal-mode solution of one (fragment or assembled) Hessian."""
+
+    frequencies_cm1: np.ndarray   # (3N,), signed wavenumbers, ascending
+    eigenvectors: np.ndarray      # (3N, 3N) mass-weighted mode vectors (columns)
+    eigenvalues: np.ndarray       # raw mass-weighted eigenvalues
+    masses_amu: np.ndarray
+
+    @property
+    def nmodes(self) -> int:
+        return self.frequencies_cm1.size
+
+    def vibrational(self, threshold_cm1: float = 50.0) -> np.ndarray:
+        """Indices of genuine vibrations (|freq| above threshold filters
+        the six translational/rotational near-zeros)."""
+        return np.where(self.frequencies_cm1 > threshold_cm1)[0]
+
+    def cartesian_mode(self, p: int) -> np.ndarray:
+        """Cartesian displacement pattern of mode p, shape (N, 3)."""
+        inv_sqrt = 1.0 / np.sqrt(np.repeat(self.masses_amu, 3))
+        vec = self.eigenvectors[:, p] * inv_sqrt
+        return (vec / np.linalg.norm(vec)).reshape(-1, 3)
+
+
+def normal_modes(hessian: np.ndarray, masses_amu: np.ndarray) -> NormalModes:
+    """Dense normal-mode analysis (O((3N)^3) — the baseline solver)."""
+    h_mw = mass_weighted_hessian(hessian, masses_amu)
+    eigenvalues, eigenvectors = np.linalg.eigh(h_mw)
+    return NormalModes(
+        frequencies_cm1=frequencies_from_eigenvalues(eigenvalues),
+        eigenvectors=eigenvectors,
+        eigenvalues=eigenvalues,
+        masses_amu=np.asarray(masses_amu, dtype=float),
+    )
+
+
+def eckart_projector(coords_bohr: np.ndarray, masses_amu: np.ndarray) -> np.ndarray:
+    """Projector removing rigid translations/rotations (Eckart frame).
+
+    Returns P (3N, 3N); P H_mw P leaves six ~zero modes exactly zero,
+    so FD noise in the rigid-body block cannot leak into the spectrum.
+    """
+    coords = np.asarray(coords_bohr, dtype=float).reshape(-1, 3)
+    masses = np.asarray(masses_amu, dtype=float).ravel()
+    n = coords.shape[0]
+    com = (masses[:, None] * coords).sum(axis=0) / masses.sum()
+    x = coords - com
+    sq = np.sqrt(np.repeat(masses, 3))
+    vecs = []
+    for d in range(3):  # translations
+        v = np.zeros((n, 3))
+        v[:, d] = 1.0
+        vecs.append((v.ravel() * sq))
+    axes = np.eye(3)
+    for d in range(3):  # rotations: delta r = e_d x (r - com)
+        v = np.cross(np.broadcast_to(axes[d], (n, 3)), x)
+        vecs.append(v.ravel() * sq)
+    basis = []
+    for v in vecs:
+        for b in basis:
+            v = v - (b @ v) * b
+        nv = np.linalg.norm(v)
+        if nv > 1e-8:
+            basis.append(v / nv)
+    p = np.eye(3 * n)
+    for b in basis:
+        p -= np.outer(b, b)
+    return p
+
+
+def normal_modes_projected(
+    hessian: np.ndarray, masses_amu: np.ndarray, coords_bohr: np.ndarray
+) -> NormalModes:
+    """Normal modes with rigid-body motion projected out first."""
+    h_mw = mass_weighted_hessian(hessian, masses_amu)
+    p = eckart_projector(coords_bohr, masses_amu)
+    h_proj = p @ h_mw @ p
+    eigenvalues, eigenvectors = np.linalg.eigh(0.5 * (h_proj + h_proj.T))
+    return NormalModes(
+        frequencies_cm1=frequencies_from_eigenvalues(eigenvalues),
+        eigenvectors=eigenvectors,
+        eigenvalues=eigenvalues,
+        masses_amu=np.asarray(masses_amu, dtype=float),
+    )

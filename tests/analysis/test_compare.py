@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.analysis.compare import band_assignment, spectral_overlap
+from repro.analysis.reference import WATER_BANDS, reference_spectrum
+
+
+def test_overlap_identical_is_one():
+    y = np.random.default_rng(0).random(100)
+    assert spectral_overlap(y, y) == pytest.approx(1.0)
+
+
+def test_overlap_orthogonal_is_zero():
+    a = np.array([1.0, 0.0])
+    b = np.array([0.0, 1.0])
+    assert spectral_overlap(a, b) == pytest.approx(0.0)
+
+
+def test_overlap_scale_invariant():
+    y = np.random.default_rng(1).random(50)
+    assert spectral_overlap(y, 7.3 * y) == pytest.approx(1.0)
+
+
+def test_overlap_zero_spectrum():
+    assert spectral_overlap(np.zeros(10), np.ones(10)) == 0.0
+
+
+def test_band_assignment_exact_match():
+    omega = np.linspace(0, 4000, 4000)
+    y = reference_spectrum(omega, WATER_BANDS)
+    out = band_assignment(omega, y, WATER_BANDS)
+    for name, info in out.items():
+        assert info["found_cm1"] is not None, name
+        assert abs(info["error_cm1"]) < 15.0
+
+
+def test_band_assignment_with_scaling():
+    """Computed axis 1/0.84 too high; scaling must recover matches."""
+    omega = np.linspace(0, 5000, 5000)
+    scale = 0.84
+    shifted = reference_spectrum(omega * scale, WATER_BANDS)
+    out = band_assignment(omega, shifted, WATER_BANDS, frequency_scale=scale)
+    assert out["oh_stretch"]["found_cm1"] is not None
+
+
+def test_band_assignment_missing_band():
+    omega = np.linspace(0, 4000, 2000)
+    y = np.exp(-((omega - 500.0) ** 2) / 800.0)
+    out = band_assignment(omega, y, WATER_BANDS)
+    assert out["oh_stretch"]["found_cm1"] is None

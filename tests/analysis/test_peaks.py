@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+
+from repro.analysis.peaks import find_peaks
+
+
+def _spectrum(centers, heights, sigma=20.0):
+    omega = np.linspace(0, 4000, 4001)
+    y = np.zeros_like(omega)
+    for c, h in zip(centers, heights):
+        y += h * np.exp(-((omega - c) ** 2) / (2 * sigma ** 2))
+    return omega, y
+
+
+def test_finds_isolated_peaks():
+    omega, y = _spectrum([500, 1500, 3000], [1.0, 0.5, 0.8])
+    peaks = find_peaks(omega, y)
+    assert len(peaks) == 3
+    assert [round(p.position_cm1) for p in peaks] == [500, 1500, 3000]
+
+
+def test_height_threshold():
+    omega, y = _spectrum([500, 1500], [1.0, 0.005])
+    peaks = find_peaks(omega, y, min_height_fraction=0.02)
+    assert len(peaks) == 1
+
+
+def test_min_separation_keeps_taller():
+    omega, y = _spectrum([1000, 1015], [1.0, 0.9], sigma=8.0)
+    peaks = find_peaks(omega, y, min_separation_cm1=40.0)
+    assert len(peaks) == 1
+    assert abs(peaks[0].position_cm1 - 1000) < 10
+
+
+def test_empty_and_flat():
+    omega = np.linspace(0, 100, 50)
+    assert find_peaks(omega, np.zeros(50)) == []
+    assert find_peaks(np.zeros(2), np.zeros(2)) == []
+
+
+def test_mismatched_shapes():
+    with pytest.raises(ValueError):
+        find_peaks(np.zeros(5), np.zeros(6))
+
+
+def test_peaks_sorted_by_position():
+    omega, y = _spectrum([3000, 500, 1500], [0.5, 1.0, 0.8])
+    peaks = find_peaks(omega, y)
+    positions = [p.position_cm1 for p in peaks]
+    assert positions == sorted(positions)
+
+
+def test_prominence_positive():
+    omega, y = _spectrum([800, 1200], [1.0, 0.7], sigma=60.0)
+    for p in find_peaks(omega, y):
+        assert p.prominence > 0

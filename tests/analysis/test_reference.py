@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.analysis.reference import (
+    PROTEIN_BANDS,
+    RHF_STO3G_FREQUENCY_SCALE,
+    WATER_BANDS,
+    reference_spectrum,
+)
+
+
+def test_band_tables_well_formed():
+    for bands in (PROTEIN_BANDS, WATER_BANDS):
+        for (name, center, width, height) in bands:
+            assert isinstance(name, str)
+            assert 0 < center < 4000
+            assert width > 0
+            assert 0 < height <= 1.0
+
+
+def test_paper_named_bands_present():
+    names = [b[0] for b in PROTEIN_BANDS]
+    assert "phe_ring_breathing" in names      # ~1030 cm^-1 (Fig. 12a)
+    assert "ch2_bending" in names             # ~1450
+    assert "amide_III" in names
+    assert "amide_I" in names
+    assert "ch_stretch" in names              # ~2900 (Fig. 12b)
+
+
+def test_reference_spectrum_normalized():
+    omega = np.linspace(0, 4000, 2000)
+    y = reference_spectrum(omega, PROTEIN_BANDS)
+    assert y.max() == pytest.approx(1.0)
+    assert y.min() >= 0.0
+
+
+def test_reference_spectrum_peaks_at_bands():
+    omega = np.linspace(0, 4000, 8000)
+    y = reference_spectrum(omega, WATER_BANDS)
+    # O-H stretch is the dominant band
+    assert abs(omega[np.argmax(y)] - 3400.0) < 10
+
+
+def test_scale_factor_in_standard_range():
+    assert 0.8 <= RHF_STO3G_FREQUENCY_SCALE <= 0.92

@@ -1,0 +1,42 @@
+import json
+
+from repro.analysis.report import generate_report
+
+
+def test_empty_directory(tmp_path):
+    out = generate_report(tmp_path)
+    assert "no results" in out
+
+
+def test_report_renders_sections(tmp_path):
+    (tmp_path / "fig10_orise_protein.json").write_text(json.dumps({
+        "rows": [{"nodes": 1500, "measured": 99.5, "paper": 96.7}],
+        "throughput750": 92.1,
+    }))
+    (tmp_path / "fig9_speedups.json").write_text(json.dumps({
+        "ORISE": [{"natoms": 9, "sym": 2.4, "sym_offload": 4.9}],
+    }))
+    (tmp_path / "fig12b_water.json").write_text(json.dumps({
+        "bands": {"oh_stretch": {"expected_cm1": 3400.0, "found_cm1": 3470.0}},
+    }))
+    out = generate_report(tmp_path)
+    assert "Fig. 10" in out and "| 1500 | 99.5 | 96.7 |" in out
+    assert "ORISE" in out and "| 9 | 2.4 | 4.9 |" in out
+    assert "oh_stretch" in out
+
+
+def test_report_tolerates_bad_json(tmp_path):
+    (tmp_path / "broken.json").write_text("{not json")
+    out = generate_report(tmp_path)
+    assert "broken" in out
+
+
+def test_report_on_real_outputs():
+    """If benchmark outputs exist in the repo, the report must render."""
+    from pathlib import Path
+
+    outdir = Path(__file__).parents[2] / "benchmarks" / "output"
+    if not outdir.exists():
+        return
+    out = generate_report(outdir)
+    assert "# Benchmark report" in out

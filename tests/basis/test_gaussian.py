@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.basis.gaussian import (
+    CARTESIAN_COMPONENTS,
+    BasisSet,
+    build_basis,
+    make_shell,
+    primitive_norm,
+)
+from repro.geometry import water_molecule
+from repro.geometry.atoms import Geometry
+
+
+def test_cartesian_component_counts():
+    assert len(CARTESIAN_COMPONENTS[0]) == 1
+    assert len(CARTESIAN_COMPONENTS[1]) == 3
+    assert len(CARTESIAN_COMPONENTS[2]) == 6
+
+
+def test_primitive_norm_s_function():
+    # <g|g> = N^2 (pi/2a)^{3/2} = 1 for s
+    a = 0.7
+    n = primitive_norm(a, (0, 0, 0))
+    overlap = n * n * (np.pi / (2 * a)) ** 1.5
+    assert overlap == pytest.approx(1.0)
+
+
+def test_primitive_norm_p_function():
+    a = 1.3
+    n = primitive_norm(a, (1, 0, 0))
+    # <x g|x g> = N^2 * (1/(2*2a)) * (pi/2a)^{3/2}
+    overlap = n * n * (np.pi / (2 * a)) ** 1.5 / (4 * a)
+    assert overlap == pytest.approx(1.0)
+
+
+def test_make_shell_contraction_normalized(water_scf_exact):
+    # diagonal of the overlap matrix must be exactly 1 for every
+    # contracted function (checked via the SCF fixture's S)
+    assert np.allclose(np.diag(water_scf_exact.overlap), 1.0, atol=1e-12)
+
+
+def test_make_shell_rejects_mismatch():
+    with pytest.raises(ValueError):
+        make_shell(0, (0, 0, 0), [1.0, 2.0], [0.5])
+
+
+def test_build_basis_water_counts():
+    basis = build_basis(water_molecule())
+    # O: 1s + 2s + 2p = 5 functions; H: 1 each
+    assert basis.nbf == 7
+    assert basis.nshells == 5
+    amap = basis.function_atom_map()
+    assert list(amap) == [0, 0, 0, 0, 0, 1, 2]
+
+
+def test_build_basis_sulfur():
+    g = Geometry(["S"], np.zeros((1, 3)))
+    basis = build_basis(g)
+    # S: 3 s-shells + 2 p-shells = 3 + 6 = 9 functions
+    assert basis.nbf == 9
+
+
+def test_build_basis_unknown_element():
+    g = Geometry(["Fe"], np.zeros((1, 3)))
+    with pytest.raises(KeyError, match="no STO-3G data"):
+        build_basis(g)
+
+
+def test_build_basis_unknown_name():
+    with pytest.raises(ValueError, match="unknown basis"):
+        build_basis(water_molecule(), name="cc-pvdz")
+
+
+def test_basisset_offsets_consistent():
+    basis = build_basis(water_molecule())
+    total = 0
+    for sh, off in zip(basis.shells, basis.offsets):
+        assert off == total
+        total += sh.nfuncs
+    assert total == basis.nbf

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.basis import build_basis
+from repro.basis.refit import as_registry, refit_basis_data
+from repro.geometry import water_molecule
+from repro.scf import RHF
+
+
+def test_refit_registry_structure():
+    reg = as_registry(refit_basis_data(2))
+    assert set(reg) == {"H", "He", "C", "N", "O", "S"}
+    for shells in reg.values():
+        for (l, exps, coefs) in shells:
+            assert len(exps) == 2
+            assert len(coefs) == 2
+            assert all(a > 0 for a in exps)
+
+
+def test_refit_basis_same_shape():
+    w = water_molecule()
+    b3 = build_basis(w, "sto-3g")
+    b2 = build_basis(w, "sto-2g-fit")
+    assert b2.nbf == b3.nbf
+    assert b2.nshells == b3.nshells
+
+
+def test_refit_functions_normalized(water):
+    b2 = build_basis(water, "sto-2g-fit")
+    from repro.integrals.engine import IntegralEngine
+
+    eng = IntegralEngine(b2, water.numbers.astype(float), water.coords)
+    assert np.allclose(np.diag(eng.overlap()), 1.0, atol=1e-10)
+
+
+def test_refit_scf_runs_and_is_above_sto3g(water, water_scf_exact):
+    e2 = RHF(water, basis_name="sto-2g-fit", eri_mode="exact").run()
+    assert e2.converged
+    # the 2-Gaussian refit spans a subspace-quality description of the
+    # same radial shapes: variationally above the K=3 original
+    assert e2.energy > water_scf_exact.energy
+    assert e2.energy == pytest.approx(water_scf_exact.energy, abs=6.0)
+
+
+def test_refit_radial_shapes_close():
+    from repro.basis.refit import _fit_k_gaussians, _radial_grid, _target_radial
+    from repro.basis.sto3g import STO3G
+
+    for (l, exps, coefs) in STO3G["C"]:
+        a, c = _fit_k_gaussians(np.array(exps), np.array(coefs), l, 2)
+        r, w = _radial_grid(l)
+        t = _target_radial(np.array(exps), np.array(coefs), l, r)
+        f = _target_radial(a, c, l, r)
+        rel = np.sum(w * (t - f) ** 2) / np.sum(w * t ** 2)
+        assert rel < 1e-3

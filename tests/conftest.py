@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Expensive SCF/response objects are session-scoped and reused across
+test modules; every fixture is deterministic (fixed seeds, fixed
+geometries) so numeric assertions can be tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import build_polypeptide, water_dimer, water_molecule
+from repro.geometry.atoms import Geometry
+from repro.scf import RHF
+from repro.scf.optimize import optimize_geometry
+
+
+@pytest.fixture(scope="session")
+def h2() -> Geometry:
+    return Geometry(["H", "H"], np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 1.4]]))
+
+
+@pytest.fixture(scope="session")
+def water() -> Geometry:
+    return water_molecule()
+
+
+@pytest.fixture(scope="session")
+def water_distorted() -> Geometry:
+    """Water pushed off equilibrium — nonzero gradient for FD tests."""
+    w = water_molecule()
+    shift = np.array([[0.02, 0.0, 0.0], [0.0, 0.01, 0.0], [0.0, 0.0, 0.015]])
+    return Geometry(list(w.symbols), w.coords + shift)
+
+
+@pytest.fixture(scope="session")
+def dimer() -> Geometry:
+    return water_dimer()
+
+
+@pytest.fixture(scope="session")
+def glycine() -> Geometry:
+    g, _res = build_polypeptide(["GLY"])
+    return g
+
+
+@pytest.fixture(scope="session")
+def tripeptide():
+    """(geometry, residues) of GLY-ALA-GLY."""
+    return build_polypeptide(["GLY", "ALA", "GLY"])
+
+
+@pytest.fixture(scope="session")
+def water_scf_exact(water):
+    res = RHF(water, eri_mode="exact").run()
+    assert res.converged
+    return res
+
+
+@pytest.fixture(scope="session")
+def water_scf_df(water):
+    res = RHF(water, eri_mode="df").run()
+    assert res.converged
+    return res
+
+
+@pytest.fixture(scope="session")
+def water_optimized():
+    opt = optimize_geometry(water_molecule(), eri_mode="df")
+    assert opt.converged
+    return opt

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.dfpt.cphf import CPHF, polarizability
+from repro.scf import RHF
+
+
+@pytest.fixture(scope="module")
+def water_cphf(water_scf_exact):
+    return CPHF(water_scf_exact).run()
+
+
+def test_cphf_converges(water_cphf):
+    assert water_cphf.converged
+    assert water_cphf.niter < 40
+
+
+def test_alpha_symmetric(water_cphf):
+    assert np.allclose(water_cphf.alpha, water_cphf.alpha.T, atol=1e-6)
+
+
+def test_alpha_positive_definite(water_cphf):
+    evals = np.linalg.eigvalsh(water_cphf.alpha)
+    assert evals.min() > 0
+
+
+def test_alpha_vs_finite_field(water, water_scf_exact, water_cphf):
+    f = 2e-3
+    for x in range(3):
+        fv = np.zeros(3)
+        fv[x] = f
+        ep = RHF(water, eri_mode="exact", field_vector=fv).run().energy
+        em = RHF(water, eri_mode="exact", field_vector=-fv).run().energy
+        a_ff = -(ep - 2 * water_scf_exact.energy + em) / f ** 2
+        assert water_cphf.alpha[x, x] == pytest.approx(a_ff, abs=2e-4)
+
+
+def test_df_alpha_close_to_exact(water_scf_df, water_cphf):
+    a_df = CPHF(water_scf_df).run().alpha
+    assert np.allclose(a_df, water_cphf.alpha, atol=0.05)
+
+
+def test_response_density_traceless(water_cphf, water_scf_exact):
+    """tr(P(1) S) = 0: the perturbation conserves electron count."""
+    s = water_scf_exact.overlap
+    for x in range(3):
+        assert abs(np.sum(water_cphf.p1[x] * s)) < 1e-8
+
+
+def test_alpha_rotation_covariance(water):
+    """alpha transforms as R alpha R^T under rigid rotation."""
+    from repro.geometry.atoms import Geometry
+    from repro.geometry.water import random_rotation
+
+    rng = np.random.default_rng(7)
+    rot = random_rotation(rng)
+    a0 = polarizability(RHF(water, eri_mode="exact").run())
+    rotated = Geometry(list(water.symbols), water.coords @ rot.T)
+    a1 = polarizability(RHF(rotated, eri_mode="exact").run())
+    assert np.allclose(a1, rot @ a0 @ rot.T, atol=1e-5)
+
+
+def test_rejects_bare_scf():
+    from repro.scf.rhf import SCFResult
+
+    dummy = SCFResult(
+        energy=0.0, energy_nuc=0.0, mo_coeff=np.eye(2), mo_energy=np.zeros(2),
+        density=np.eye(2), fock=np.eye(2), overlap=np.eye(2), hcore=np.eye(2),
+        nocc=1, converged=True, niter=1,
+    )
+    with pytest.raises(ValueError, match="neither"):
+        CPHF(dummy)

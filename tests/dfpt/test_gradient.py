@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.dfpt.gradient import gradient, nuclear_repulsion_gradient
+from repro.scf import RHF
+
+DELTA = 2e-4
+
+
+def _fd_gradient(geom, mode):
+    g = np.zeros((geom.natoms, 3))
+    for i in range(geom.natoms):
+        for x in range(3):
+            ep = RHF(geom.displaced(i, x, DELTA), eri_mode=mode).run().energy
+            em = RHF(geom.displaced(i, x, -DELTA), eri_mode=mode).run().energy
+            g[i, x] = (ep - em) / (2 * DELTA)
+    return g
+
+
+@pytest.mark.parametrize("mode", ["exact", "df"])
+def test_gradient_vs_fd_water(water_distorted, mode):
+    res = RHF(water_distorted, eri_mode=mode).run()
+    g = gradient(res)
+    gfd = _fd_gradient(water_distorted, mode)
+    assert np.abs(g - gfd).max() < 5e-7
+
+
+def test_gradient_translational_sum_zero(water_distorted):
+    res = RHF(water_distorted, eri_mode="df").run()
+    g = gradient(res)
+    assert np.allclose(g.sum(axis=0), 0.0, atol=1e-8)
+
+
+def test_gradient_torque_zero(water_distorted):
+    """Total torque vanishes for an isolated molecule (rotational
+    invariance of the energy)."""
+    res = RHF(water_distorted, eri_mode="df").run()
+    g = gradient(res)
+    torque = np.sum(np.cross(water_distorted.coords, g), axis=0)
+    assert np.allclose(torque, 0.0, atol=1e-7)
+
+
+def test_gradient_requires_converged(water):
+    res = RHF(water, eri_mode="df", max_iter=1).run()
+    res.converged = False
+    with pytest.raises(ValueError, match="converged"):
+        gradient(res)
+
+
+def test_nuclear_repulsion_gradient_fd():
+    rng = np.random.default_rng(3)
+    coords = rng.normal(scale=2.0, size=(4, 3))
+    charges = np.array([1.0, 6.0, 8.0, 1.0])
+    g = nuclear_repulsion_gradient(charges, coords)
+
+    def enn(c):
+        e = 0.0
+        for i in range(4):
+            for j in range(i + 1, 4):
+                e += charges[i] * charges[j] / np.linalg.norm(c[i] - c[j])
+        return e
+
+    for i in range(4):
+        for x in range(3):
+            cp = coords.copy()
+            cp[i, x] += 1e-6
+            cm = coords.copy()
+            cm[i, x] -= 1e-6
+            fd = (enn(cp) - enn(cm)) / 2e-6
+            assert g[i, x] == pytest.approx(fd, abs=1e-7)
+
+
+def test_gradient_h2_sign():
+    """Stretched H2 must pull inward (negative dE/dR at large R)."""
+    from repro.geometry.atoms import Geometry
+
+    g = Geometry(["H", "H"], np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 2.2]]))
+    res = RHF(g, eri_mode="exact").run()
+    grad = gradient(res)
+    # force on atom 1 points toward atom 0 (negative z gradient ... dE/dz1 > 0
+    # means energy rises moving away? at R > Re, dE/dR < 0 is wrong --
+    # binding: E(R) rises beyond Re up to dissociation, so dE/dR > 0
+    assert grad[1, 2] > 0

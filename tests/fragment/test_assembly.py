@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.dfpt.hessian import FragmentResponse
+from repro.fragment.assembly import (
+    assemble_energy,
+    assemble_gradient,
+    assemble_response,
+    assemble_sparse_hessian,
+)
+from repro.fragment.fragmenter import QFPiece
+from repro.geometry.atoms import Geometry
+
+
+def _piece(kind, sign, atom_map, mult=1):
+    n = len(atom_map)
+    geom = Geometry(["H"] * n, np.arange(3 * n, dtype=float).reshape(n, 3))
+    return QFPiece(kind, sign, geom, np.asarray(atom_map), multiplicity=mult)
+
+
+def _response(piece, seed):
+    rng = np.random.default_rng(seed)
+    n3 = 3 * piece.natoms
+    h = rng.normal(size=(n3, n3))
+    h = h + h.T
+    return FragmentResponse(
+        geometry=piece.geometry, energy=float(rng.normal()), hessian=h,
+        dalpha_dr=rng.normal(size=(n3, 3, 3)),
+        alpha=np.eye(3), gradient=rng.normal(size=(piece.natoms, 3)),
+    )
+
+
+def test_energy_signed_sum():
+    pieces = [_piece("fragment", 1.0, [0]), _piece("concap", -1.0, [0])]
+    assert assemble_energy(pieces, [5.0, 2.0]) == pytest.approx(3.0)
+
+
+def test_energy_multiplicity():
+    pieces = [_piece("gc_mono", -1.0, [0], mult=3)]
+    assert assemble_energy(pieces, [2.0]) == pytest.approx(-6.0)
+
+
+def test_energy_length_mismatch():
+    with pytest.raises(ValueError):
+        assemble_energy([_piece("water", 1.0, [0])], [1.0, 2.0])
+
+
+def test_gradient_maps_atoms():
+    piece = _piece("fragment", 1.0, [2, 0])
+    g_piece = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+    g = assemble_gradient([piece], [g_piece], natoms_total=3)
+    assert np.allclose(g[2], [1.0, 2.0, 3.0])
+    assert np.allclose(g[0], [4.0, 5.0, 6.0])
+    assert np.allclose(g[1], 0.0)
+
+
+def test_gradient_drops_cap_rows():
+    piece = _piece("fragment", 1.0, [1, -1])
+    g_piece = np.ones((2, 3))
+    g = assemble_gradient([piece], [g_piece], natoms_total=2)
+    assert np.allclose(g[1], 1.0)
+    assert np.allclose(g[0], 0.0)
+
+
+def test_hessian_assembly_overlapping_pieces():
+    """fragment(0,1) + fragment(1,2) - concap(1) must reproduce a
+    block-additive Hessian with the shared atom counted once."""
+    p1 = _piece("fragment", 1.0, [0, 1])
+    p2 = _piece("fragment", 1.0, [1, 2])
+    pc = _piece("concap", -1.0, [1])
+    r1, r2, rc = _response(p1, 1), _response(p2, 2), _response(pc, 3)
+    out = assemble_response([p1, p2, pc], [r1, r2, rc], natoms_total=3)
+    # atom-1 diagonal block: sum of both fragments minus concap
+    block = (
+        r1.hessian[3:6, 3:6] + r2.hessian[0:3, 0:3] - rc.hessian[0:3, 0:3]
+    )
+    assert np.allclose(out.hessian[3:6, 3:6], block)
+    # atom 0 - atom 2 coupling: no shared piece, must be zero
+    assert np.allclose(out.hessian[0:3, 6:9], 0.0)
+    assert out.energy == pytest.approx(r1.energy + r2.energy - rc.energy)
+
+
+def test_dalpha_assembly():
+    p = _piece("water", 1.0, [1])
+    r = _response(p, 4)
+    out = assemble_response([p], [r], natoms_total=2)
+    assert np.allclose(out.dalpha_dr[3:6], r.dalpha_dr)
+    assert np.allclose(out.dalpha_dr[0:3], 0.0)
+
+
+def test_sparse_matches_dense():
+    p1 = _piece("fragment", 1.0, [0, 2])
+    p2 = _piece("gc_mono", -1.0, [1], mult=2)
+    rs = [_response(p1, 5), _response(p2, 6)]
+    dense = assemble_response([p1, p2], rs, natoms_total=3).hessian
+    sparse = assemble_sparse_hessian([p1, p2], rs, natoms_total=3)
+    assert np.allclose(sparse.toarray(), dense, atol=1e-12)
+
+
+def test_sparse_mass_weighting():
+    p = _piece("water", 1.0, [0])
+    r = _response(p, 7)
+    masses = np.array([4.0])
+    sp = assemble_sparse_hessian([p], [r], natoms_total=1, masses_amu=masses)
+    assert np.allclose(sp.toarray(), r.hessian / 4.0, atol=1e-12)
+
+
+def test_response_length_mismatch():
+    p = _piece("water", 1.0, [0])
+    with pytest.raises(ValueError):
+        assemble_response([p], [], natoms_total=1)

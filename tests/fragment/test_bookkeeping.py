@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.fragment.bookkeeping import (
+    spike_paper_reference,
+    synthetic_fragment_size_distribution,
+    system_statistics,
+)
+from repro.geometry import build_polypeptide, spike_like_protein, water_box
+
+
+def test_counters_small_protein():
+    protein, residues = build_polypeptide(["GLY"] * 6)
+    stats = system_statistics(protein, residues, n_waters=0)
+    assert stats.n_residues == 6
+    assert stats.n_fragments == 4        # N-2
+    assert stats.n_conjugate_caps == 3   # N-3
+    assert stats.fragment_sizes.size == 4
+
+
+def test_fragment_sizes_include_caps():
+    protein, residues = build_polypeptide(["GLY"] * 5)
+    stats = system_statistics(protein, residues, n_waters=0)
+    # interior fragment covers 3 glycines (7 in-chain atoms each... the
+    # terminal residues carry extra termini atoms) plus 2 H caps
+    assert stats.fragment_sizes.max() >= 21
+
+
+def test_water_pairs_explicit_vs_estimate():
+    waters = water_box(64, seed=0)
+    est = system_statistics(None, None, n_waters=64)
+    exact = system_statistics(None, None, n_waters=64, explicit_waters=waters)
+    assert exact.n_water_water_pairs > 0
+    # surface effects: measured below homogeneous estimate
+    assert exact.n_water_water_pairs < est.n_water_water_pairs
+
+
+def test_spike_like_gc_density_scales():
+    protein, residues = spike_like_protein(200, seed=0)
+    stats = system_statistics(protein, residues, n_waters=0)
+    # a folded chain: a few generalized concaps per residue (paper:
+    # 11,394 / 3,180 = 3.6)
+    per_residue = stats.n_generalized_concaps / 200
+    assert 0.5 < per_residue < 12.0
+
+
+def test_paper_reference_table():
+    ref = spike_paper_reference()
+    assert ref["atoms"] == 101_299_008
+    assert ref["generalized_concaps"] == 11394
+
+
+def test_synthetic_size_distribution_range():
+    sizes = synthetic_fragment_size_distribution(500, seed=1)
+    assert sizes.min() >= 9
+    assert sizes.max() <= 68
+    assert sizes.size == 498
+    # three-residue fragments of the 16-type spike composition average
+    # in the upper half of the paper's 9-68 window
+    assert 20 < sizes.mean() < 60

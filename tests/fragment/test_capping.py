@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.constants import ANGSTROM_TO_BOHR
+from repro.fragment.capping import cap_position, capped_residue_range
+from repro.geometry import build_polypeptide
+
+
+@pytest.fixture(scope="module")
+def tetra():
+    return build_polypeptide(["GLY", "ALA", "SER", "GLY"])
+
+
+def test_cap_position_distance():
+    host = np.zeros(3)
+    toward = np.array([0.0, 0.0, 3.0])
+    pos = cap_position(host, toward, 1.09)
+    assert np.linalg.norm(pos - host) == pytest.approx(1.09 * ANGSTROM_TO_BOHR)
+    assert pos[2] > 0  # along the cut bond
+
+
+def test_cap_position_degenerate():
+    with pytest.raises(ValueError):
+        cap_position(np.zeros(3), np.zeros(3), 1.0)
+
+
+def test_interior_range_gets_two_caps(tetra):
+    protein, residues = tetra
+    geom, amap = capped_residue_range(protein, residues, 1, 2)
+    n_inner = sum(len(residues[r].atom_indices) for r in (1, 2))
+    assert geom.natoms == n_inner + 2
+    assert (amap == -1).sum() == 2
+    assert geom.symbols[-1] == "H" and geom.symbols[-2] == "H"
+
+
+def test_terminal_ranges_get_one_cap(tetra):
+    protein, residues = tetra
+    geom_n, amap_n = capped_residue_range(protein, residues, 0, 1)
+    assert (amap_n == -1).sum() == 1
+    geom_c, amap_c = capped_residue_range(protein, residues, 2, 3)
+    assert (amap_c == -1).sum() == 1
+
+
+def test_whole_chain_no_caps(tetra):
+    protein, residues = tetra
+    geom, amap = capped_residue_range(protein, residues, 0, 3)
+    assert (amap == -1).sum() == 0
+    assert geom.natoms == protein.natoms
+
+
+def test_capped_pieces_closed_shell(tetra):
+    protein, residues = tetra
+    for first, last in ((0, 1), (1, 1), (1, 2), (2, 3)):
+        geom, _ = capped_residue_range(protein, residues, first, last)
+        assert geom.nelectrons % 2 == 0, (first, last)
+
+
+def test_atom_map_points_at_original_atoms(tetra):
+    protein, residues = tetra
+    geom, amap = capped_residue_range(protein, residues, 1, 1)
+    for k, g in enumerate(amap):
+        if g >= 0:
+            assert np.allclose(geom.coords[k], protein.coords[g])
+
+
+def test_range_bounds_checked(tetra):
+    protein, residues = tetra
+    with pytest.raises(IndexError):
+        capped_residue_range(protein, residues, 2, 99)

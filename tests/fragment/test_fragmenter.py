@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.fragment import decompose_protein, decompose_system, decompose_waters
+from repro.geometry import build_polypeptide, water_box
+
+
+@pytest.fixture(scope="module")
+def penta():
+    return build_polypeptide(["GLY", "ALA", "GLY", "SER", "GLY"])
+
+
+def test_fragment_and_concap_counts(penta):
+    protein, residues = penta
+    pieces = decompose_protein(protein, residues, generalized_concaps=False)
+    frags = [p for p in pieces if p.kind == "fragment"]
+    concaps = [p for p in pieces if p.kind == "concap"]
+    n = len(residues)
+    assert len(frags) == n - 2       # paper: N-2 fragments
+    assert len(concaps) == n - 3     # paper: N-3 conjugate caps
+    assert all(p.sign == 1.0 for p in frags)
+    assert all(p.sign == -1.0 for p in concaps)
+
+
+def test_residue_coverage_identity(penta):
+    """Signed sum over pieces covers every residue's atoms exactly once."""
+    protein, residues = penta
+    pieces = decompose_protein(protein, residues, generalized_concaps=False)
+    counts = np.zeros(protein.natoms)
+    for p in pieces:
+        for g in p.atom_map:
+            if g >= 0:
+                counts[g] += p.sign
+    assert np.allclose(counts, 1.0)
+
+
+def test_coverage_identity_with_gcs(penta):
+    """Generalized concaps are net-zero: dimer (+1) minus two monomers."""
+    protein, residues = penta
+    pieces = decompose_protein(protein, residues, lambda_angstrom=30.0,
+                               min_sequence_separation=3)
+    counts = np.zeros(protein.natoms)
+    for p in pieces:
+        mult = p.multiplicity if p.kind == "gc_mono" else 1
+        for g in p.atom_map:
+            if g >= 0:
+                counts[g] += p.sign * mult
+    assert np.allclose(counts, 1.0)
+
+
+def test_short_chain_single_fragment():
+    protein, residues = build_polypeptide(["GLY", "GLY"])
+    pieces = decompose_protein(protein, residues)
+    assert len(pieces) == 1
+    assert pieces[0].kind == "fragment"
+    assert pieces[0].natoms == protein.natoms
+
+
+def test_pieces_closed_shell(penta):
+    protein, residues = penta
+    for p in decompose_protein(protein, residues, lambda_angstrom=30.0):
+        assert p.geometry.nelectrons % 2 == 0, p.label
+
+
+def test_water_decomposition_counts():
+    waters = water_box(8, seed=0)
+    pieces = decompose_waters(waters, global_offset=0, lambda_angstrom=4.0)
+    one_body = [p for p in pieces if p.kind == "water"]
+    dimers = [p for p in pieces if p.kind == "gc_dimer"]
+    monos = [p for p in pieces if p.kind == "gc_mono"]
+    assert len(one_body) == 8
+    assert len(dimers) > 0
+    # every dimer contributes exactly two monomer subtractions
+    assert sum(m.multiplicity for m in monos) == 2 * len(dimers)
+
+
+def test_water_coverage_identity():
+    waters = water_box(6, seed=1)
+    pieces = decompose_waters(waters, global_offset=0, lambda_angstrom=4.0)
+    natoms = 18
+    counts = np.zeros(natoms)
+    for p in pieces:
+        mult = p.multiplicity if p.kind == "gc_mono" else 1
+        for g in p.atom_map:
+            counts[g] += p.sign * mult
+    assert np.allclose(counts, 1.0)
+
+
+def test_decompose_system_combined(penta):
+    protein, residues = penta
+    waters = water_box(4, seed=2)
+    # shift waters near the protein so residue-water pairs exist
+    shift = protein.coords_angstrom().mean(axis=0) + np.array([0.0, 6.0, 0.0])
+    moved = [w.translated((shift - w.coords_angstrom()[0]) / 0.529177210903)
+             for w in waters]
+    dec = decompose_system(protein=protein, residues=residues, waters=moved)
+    assert dec.natoms_total == protein.natoms + 12
+    kinds = {p.kind for p in dec.pieces}
+    assert "fragment" in kinds and "water" in kinds
+    # global coverage identity
+    counts = np.zeros(dec.natoms_total)
+    for p in dec.pieces:
+        mult = p.multiplicity if p.kind == "gc_mono" else 1
+        for g in p.atom_map:
+            if g >= 0:
+                counts[g] += p.sign * mult
+    assert np.allclose(counts, 1.0)
+
+
+def test_decompose_system_requires_input():
+    with pytest.raises(ValueError):
+        decompose_system()
+
+
+def test_decompose_protein_needs_residues(penta):
+    protein, _ = penta
+    with pytest.raises(ValueError, match="residue bookkeeping"):
+        decompose_system(protein=protein, residues=None)

@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.constants import ANGSTROM_TO_BOHR
+from repro.geometry.atoms import Atom, Geometry
+
+
+def make_h2o():
+    return Geometry(
+        ["O", "H", "H"],
+        np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 1.8], [1.8, 0.0, 0.0]]),
+    )
+
+
+def test_basic_properties():
+    g = make_h2o()
+    assert g.natoms == 3
+    assert list(g.numbers) == [8, 1, 1]
+    assert g.nelectrons == 10
+    assert g.masses.shape == (3,)
+
+
+def test_charge_changes_electrons():
+    g = Geometry(["O", "H", "H"], np.zeros((3, 3)) + np.eye(3), charge=1)
+    assert g.nelectrons == 9
+
+
+def test_from_angstrom_converts():
+    g = Geometry.from_angstrom(["H"], [[1.0, 0.0, 0.0]])
+    assert g.coords[0, 0] == pytest.approx(ANGSTROM_TO_BOHR)
+    assert np.allclose(g.coords_angstrom()[0], [1.0, 0.0, 0.0])
+
+
+def test_from_atoms():
+    g = Geometry.from_atoms([Atom("H", (0, 0, 0)), Atom("H", (0, 0, 1.4))])
+    assert g.natoms == 2
+    assert g.distance(0, 1) == pytest.approx(1.4)
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError, match="mismatch"):
+        Geometry(["H", "H"], np.zeros((3, 3)))
+
+
+def test_labels_must_align():
+    with pytest.raises(ValueError, match="labels"):
+        Geometry(["H"], np.zeros((1, 3)), labels=[{}, {}])
+
+
+def test_displaced_moves_one_coordinate():
+    g = make_h2o()
+    d = g.displaced(1, 2, 0.01)
+    assert d.coords[1, 2] == pytest.approx(g.coords[1, 2] + 0.01)
+    # everything else untouched
+    mask = np.ones_like(g.coords, dtype=bool)
+    mask[1, 2] = False
+    assert np.array_equal(d.coords[mask], g.coords[mask])
+    # original is not mutated
+    assert g.coords[1, 2] == 1.8
+
+
+def test_displaced_bounds():
+    g = make_h2o()
+    with pytest.raises(IndexError):
+        g.displaced(5, 0, 0.1)
+    with pytest.raises(IndexError):
+        g.displaced(0, 3, 0.1)
+
+
+def test_subset_preserves_labels():
+    g = Geometry(
+        ["O", "H", "H"],
+        np.eye(3),
+        labels=[{"name": "O"}, {"name": "H1"}, {"name": "H2"}],
+    )
+    s = g.subset([2, 0])
+    assert s.symbols == ["H", "O"]
+    assert s.labels[0]["name"] == "H2"
+
+
+def test_merged_concatenates_and_adds_charge():
+    a = Geometry(["H"], [[0.0, 0.0, 0.0]], charge=1)
+    b = Geometry(["He"], [[0.0, 0.0, 2.0]])
+    m = a.merged(b)
+    assert m.symbols == ["H", "He"]
+    assert m.charge == 1
+    assert m.natoms == 2
+
+
+def test_nuclear_repulsion_h2():
+    g = Geometry(["H", "H"], np.array([[0, 0, 0], [0, 0, 1.4]]))
+    assert g.nuclear_repulsion() == pytest.approx(1.0 / 1.4)
+
+
+def test_nuclear_repulsion_coincident_raises():
+    g = Geometry(["H", "H"], np.zeros((2, 3)))
+    with pytest.raises(ValueError, match="coincident"):
+        g.nuclear_repulsion()
+
+
+def test_center_of_mass_weighted_towards_heavy():
+    g = make_h2o()
+    com = g.center_of_mass()
+    # oxygen dominates: COM close to origin
+    assert np.linalg.norm(com) < 0.3
+
+
+def test_translated():
+    g = make_h2o()
+    t = g.translated([1.0, 2.0, 3.0])
+    assert np.allclose(t.coords - g.coords, [1.0, 2.0, 3.0])

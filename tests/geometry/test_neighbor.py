@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.geometry.neighbor import CellList, count_pairs_within, min_distance, pairs_within
+
+
+def test_min_distance_brute():
+    a = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    b = np.array([[0.0, 0.0, 5.0], [1.0, 0.0, 0.5]])
+    assert min_distance(a, b) == pytest.approx(0.5)
+
+
+def test_cell_list_neighbors_of_point():
+    pts = np.array([[0.0, 0.0, 0.0], [3.9, 0.0, 0.0], [20.0, 0.0, 0.0]])
+    cl = CellList(pts, cell_size=4.0)
+    near = cl.neighbors_of_point(np.array([0.1, 0.0, 0.0]))
+    assert 0 in near and 1 in near and 2 not in near
+
+
+def test_cell_list_pairs_complete_vs_bruteforce():
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 12, size=(60, 3))
+    cl = CellList(pts, cell_size=3.0)
+    candidates = set(cl.pairs())
+    # every actual pair within the cell size must appear as a candidate
+    for i in range(60):
+        for j in range(i + 1, 60):
+            if np.linalg.norm(pts[i] - pts[j]) <= 3.0:
+                assert (i, j) in candidates
+
+
+def test_pairs_within_matches_bruteforce():
+    rng = np.random.default_rng(1)
+    groups = [rng.uniform(0, 10, size=(rng.integers(1, 4), 3)) for _ in range(25)]
+    got = set(pairs_within(groups, 2.5))
+    expect = set()
+    for i in range(25):
+        for j in range(i + 1, 25):
+            if min_distance(groups[i], groups[j]) <= 2.5:
+                expect.add((i, j))
+    assert got == expect
+
+
+def test_pairs_within_rejects_empty_group():
+    with pytest.raises(ValueError, match="empty group"):
+        pairs_within([np.zeros((0, 3)), np.zeros((1, 3))], 2.0)
+
+
+def test_pairs_within_rejects_bad_threshold():
+    with pytest.raises(ValueError, match="positive"):
+        pairs_within([np.zeros((1, 3))], -1.0)
+
+
+def test_count_pairs_within():
+    groups = [
+        np.array([[0.0, 0.0, 0.0]]),
+        np.array([[1.0, 0.0, 0.0]]),
+        np.array([[10.0, 0.0, 0.0]]),
+    ]
+    assert count_pairs_within(groups, 2.0) == 1
+
+
+def test_negative_coordinates_handled():
+    groups = [
+        np.array([[-5.0, -5.0, -5.0]]),
+        np.array([[-5.5, -5.0, -5.0]]),
+    ]
+    assert pairs_within(groups, 1.0) == [(0, 1)]

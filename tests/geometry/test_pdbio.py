@@ -1,0 +1,41 @@
+import numpy as np
+import pytest
+
+from repro.geometry import build_polypeptide, water_molecule
+from repro.geometry.pdbio import read_pdb, write_pdb
+
+
+def test_roundtrip_polypeptide(tmp_path):
+    g, _res = build_polypeptide(["GLY", "ALA"])
+    path = tmp_path / "pep.pdb"
+    write_pdb(g, path)
+    back = read_pdb(path)
+    assert back.symbols == g.symbols
+    # PDB stores 3 decimals in angstrom
+    assert np.allclose(back.coords_angstrom(), g.coords_angstrom(), atol=2e-3)
+    assert back.labels[0]["residue_index"] == 0
+
+
+def test_roundtrip_water(tmp_path):
+    w = water_molecule(center=(5.0, 5.0, 5.0))
+    path = tmp_path / "w.pdb"
+    write_pdb(w, path)
+    back = read_pdb(path)
+    assert back.symbols == ["O", "H", "H"]
+
+
+def test_read_empty_raises(tmp_path):
+    path = tmp_path / "empty.pdb"
+    path.write_text("REMARK nothing here\nEND\n")
+    with pytest.raises(ValueError, match="no ATOM records"):
+        read_pdb(path)
+
+
+def test_pdb_format_columns(tmp_path):
+    g, _res = build_polypeptide(["GLY"])
+    path = tmp_path / "cols.pdb"
+    write_pdb(g, path)
+    lines = [l for l in path.read_text().splitlines() if l.startswith("ATOM")]
+    assert len(lines) == g.natoms
+    for line in lines:
+        float(line[30:38]), float(line[38:46]), float(line[46:54])

@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.geometry.protein import (
+    RESIDUE_TEMPLATES,
+    build_polypeptide,
+    residue_atom_count,
+    sample_sequence,
+    spike_like_protein,
+)
+
+
+@pytest.mark.parametrize("name", sorted(RESIDUE_TEMPLATES))
+def test_single_residue_builds_clean(name):
+    g, res = build_polypeptide([name])
+    c = g.coords_angstrom()
+    d = np.linalg.norm(c[:, None, :] - c[None, :, :], axis=-1)
+    np.fill_diagonal(d, 99.0)
+    # shortest distance is an O-H or C-H bond; anything below 0.9 A is a clash
+    assert d.min() > 0.9
+    # closed shell
+    assert g.nelectrons % 2 == 0
+    assert len(res) == 1
+    assert res[0].name == name
+
+
+def test_atom_counts_match_templates():
+    for name in RESIDUE_TEMPLATES:
+        g, res = build_polypeptide([name])
+        # terminal atoms: extra H on N, OXT + HXT on C
+        assert g.natoms == residue_atom_count(name) + 3
+
+
+def test_polypeptide_peptide_bond_length():
+    g, res = build_polypeptide(["GLY", "GLY"])
+    c_i = res[0].named("C")
+    n_j = res[1].named("N")
+    d = np.linalg.norm(g.coords_angstrom()[c_i] - g.coords_angstrom()[n_j])
+    assert d == pytest.approx(1.329, abs=1e-6)
+
+
+def test_polypeptide_no_clashes_long_chain():
+    g, _res = build_polypeptide(["GLY", "ALA", "SER", "VAL", "LEU", "PHE"])
+    c = g.coords_angstrom()
+    d = np.linalg.norm(c[:, None, :] - c[None, :, :], axis=-1)
+    np.fill_diagonal(d, 99.0)
+    assert d.min() > 0.9
+
+
+def test_polypeptide_residue_bookkeeping():
+    g, res = build_polypeptide(["ALA", "GLY", "ALA"])
+    seen = set()
+    for r in res:
+        for idx in r.atom_indices:
+            assert idx not in seen
+            seen.add(idx)
+    assert len(seen) == g.natoms
+    # labels carry residue indices
+    for r in res:
+        for idx in r.atom_indices:
+            assert g.labels[idx]["residue_index"] == r.index
+
+
+def test_unknown_residue_raises():
+    with pytest.raises(KeyError, match="unsupported residue"):
+        build_polypeptide(["XYZ"])
+
+
+def test_empty_sequence_raises():
+    with pytest.raises(ValueError):
+        build_polypeptide([])
+
+
+def test_sample_sequence_composition():
+    from repro.geometry.protein import SPIKE_COMPOSITION
+
+    seq = sample_sequence(4000, seed=0)
+    assert len(seq) == 4000
+    total = sum(SPIKE_COMPOSITION.values())
+    for name, frac in SPIKE_COMPOSITION.items():
+        target = frac / total
+        got = seq.count(name) / 4000
+        assert abs(got - target) < 0.03, name
+
+
+def test_spike_like_protein_contacts():
+    g, res = spike_like_protein(150, seed=4)
+    assert len(res) == 150
+    assert g.natoms == sum(len(r.atom_indices) for r in res)
+    # serpentine packing: the structure must be compact, not a line
+    span = g.coords_angstrom().max(axis=0) - g.coords_angstrom().min(axis=0)
+    assert span.max() / span.min() < 8.0
+
+
+def test_spike_like_protein_has_nonlocal_contacts():
+    from repro.geometry.neighbor import pairs_within
+
+    g, res = spike_like_protein(100, seed=1)
+    coords = g.coords_angstrom()
+    groups = [coords[r.atom_indices] for r in res]
+    close = pairs_within(groups, 4.0)
+    nonlocal_pairs = [p for p in close if abs(p[0] - p[1]) >= 3]
+    assert len(nonlocal_pairs) > 20  # a folded chain touches itself a lot

@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+
+from repro.geometry import build_polypeptide, solvate
+from repro.geometry.neighbor import min_distance
+
+
+def test_solvate_produces_waters_and_no_clashes():
+    g, _res = build_polypeptide(["GLY"])
+    waters = solvate(g, margin=4.0, clash_distance=2.4, seed=0)
+    assert len(waters) > 5
+    solute = g.coords_angstrom()
+    for w in waters:
+        assert w.natoms == 3
+        assert min_distance(w.coords_angstrom(), solute) >= 2.4 - 1e-9
+
+
+def test_solvate_margin_grows_count():
+    g, _res = build_polypeptide(["GLY"])
+    small = solvate(g, margin=3.0, seed=0)
+    big = solvate(g, margin=6.0, seed=0)
+    assert len(big) > len(small)
+
+
+def test_solvate_validates_args():
+    g, _res = build_polypeptide(["GLY"])
+    with pytest.raises(ValueError):
+        solvate(g, margin=-1.0)
+    with pytest.raises(ValueError):
+        solvate(g, clash_distance=0.0)
+
+
+def test_solvate_waters_inside_box():
+    g, _res = build_polypeptide(["GLY"])
+    margin = 5.0
+    waters = solvate(g, margin=margin, seed=1)
+    solute = g.coords_angstrom()
+    lo = solute.min(axis=0) - margin - 1.5
+    hi = solute.max(axis=0) + margin + 1.5
+    for w in waters:
+        c = w.coords_angstrom()
+        assert np.all(c >= lo - 1e-9) and np.all(c <= hi + 1e-9)

@@ -1,0 +1,95 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.water import (
+    HOH_ANGLE_DEG,
+    OH_BOND_ANGSTROM,
+    WATER_NUMBER_DENSITY,
+    random_rotation,
+    water_box,
+    water_box_stats,
+    water_dimer,
+    water_molecule,
+)
+from repro.geometry.zmatrix import bond_angle
+
+
+def test_water_molecule_geometry():
+    w = water_molecule()
+    c = w.coords_angstrom()
+    assert w.symbols == ["O", "H", "H"]
+    assert np.linalg.norm(c[1] - c[0]) == pytest.approx(OH_BOND_ANGSTROM, abs=1e-10)
+    assert np.linalg.norm(c[2] - c[0]) == pytest.approx(OH_BOND_ANGSTROM, abs=1e-10)
+    assert bond_angle(c[1], c[0], c[2]) == pytest.approx(HOH_ANGLE_DEG, abs=1e-8)
+
+
+def test_water_molecule_center_and_rotation_preserve_shape():
+    rng = np.random.default_rng(5)
+    rot = random_rotation(rng)
+    w = water_molecule(center=(3.0, -2.0, 1.0), rotation=rot)
+    c = w.coords_angstrom()
+    assert np.linalg.norm(c[1] - c[0]) == pytest.approx(OH_BOND_ANGSTROM)
+    assert np.allclose(c[0], [3.0, -2.0, 1.0])
+
+
+def test_random_rotation_is_orthogonal():
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        r = random_rotation(rng)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+def test_water_dimer_separation():
+    d = water_dimer(separation_angstrom=3.1)
+    c = d.coords_angstrom()
+    assert d.natoms == 6
+    assert np.linalg.norm(c[3] - c[0]) == pytest.approx(3.1)
+
+
+def test_water_box_count_and_no_overlap():
+    waters = water_box(27, seed=2)
+    assert len(waters) == 27
+    centers = np.array([w.coords_angstrom()[0] for w in waters])
+    d = np.linalg.norm(centers[:, None] - centers[None, :], axis=-1)
+    np.fill_diagonal(d, 99.0)
+    # jitter 0.25 around a ~3.1 A lattice: no two oxygens closer than ~2 A
+    assert d.min() > 2.0
+
+
+def test_water_box_density():
+    n = 64
+    waters = water_box(n, seed=0)
+    centers = np.array([w.coords_angstrom()[0] for w in waters])
+    span = centers.max(axis=0) - centers.min(axis=0)
+    vol = float(np.prod(span + (1.0 / WATER_NUMBER_DENSITY) ** (1 / 3)))
+    assert n / vol == pytest.approx(WATER_NUMBER_DENSITY, rel=0.2)
+
+
+def test_water_box_invalid():
+    with pytest.raises(ValueError):
+        water_box(0)
+
+
+def test_water_box_stats_scaling():
+    s1 = water_box_stats(1000)
+    s2 = water_box_stats(2000)
+    assert s2["expected_ww_pairs"] == pytest.approx(2 * s1["expected_ww_pairs"])
+    assert s1["n_atoms"] == 3000
+    assert s2["box_side_angstrom"] > s1["box_side_angstrom"]
+
+
+def test_water_box_stats_match_explicit_box():
+    """The closed-form pair estimate should track the measured count."""
+    from repro.geometry.neighbor import pairs_within
+
+    n = 125
+    waters = water_box(n, seed=7)
+    measured = len(pairs_within([w.coords_angstrom() for w in waters], 4.0))
+    expected = water_box_stats(n)["expected_ww_pairs"]
+    # finite box: surface molecules have fewer neighbors, so the
+    # homogeneous estimate overshoots by the surface fraction
+    assert measured < expected
+    assert measured > 0.35 * expected

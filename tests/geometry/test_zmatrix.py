@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.geometry.zmatrix import bond_angle, dihedral_angle, place_atom
+
+
+def test_place_atom_bond_length():
+    a = np.array([0.0, 0.0, 1.0])
+    b = np.array([0.0, 1.0, 0.0])
+    c = np.array([0.0, 0.0, 0.0])
+    d = place_atom(a, b, c, bond=1.5, angle_deg=109.5, dihedral_deg=60.0)
+    assert np.linalg.norm(d - c) == pytest.approx(1.5)
+
+
+def test_place_atom_angle():
+    a = np.array([1.0, 1.0, 0.0])
+    b = np.array([1.0, 0.0, 0.0])
+    c = np.array([0.0, 0.0, 0.0])
+    d = place_atom(a, b, c, bond=1.0, angle_deg=120.0, dihedral_deg=0.0)
+    assert bond_angle(b, c, d) == pytest.approx(120.0, abs=1e-8)
+
+
+@pytest.mark.parametrize("phi", [-170.0, -60.0, 0.0, 45.0, 120.0, 179.0])
+def test_place_atom_dihedral_roundtrip(phi):
+    a = np.array([1.0, 1.0, 0.3])
+    b = np.array([1.0, 0.0, 0.0])
+    c = np.array([0.0, 0.0, 0.0])
+    d = place_atom(a, b, c, bond=1.2, angle_deg=100.0, dihedral_deg=phi)
+    assert dihedral_angle(a, b, c, d) == pytest.approx(phi, abs=1e-8)
+
+
+def test_place_atom_collinear_raises():
+    a = np.array([0.0, 0.0, 2.0])
+    b = np.array([0.0, 0.0, 1.0])
+    c = np.array([0.0, 0.0, 0.0])
+    with pytest.raises(ValueError, match="collinear"):
+        place_atom(a, b, c, 1.0, 109.5, 0.0)
+
+
+def test_bond_angle_right_angle():
+    assert bond_angle([1, 0, 0], [0, 0, 0], [0, 1, 0]) == pytest.approx(90.0)
+
+
+def test_dihedral_sign_convention():
+    # standard test: +90 vs -90 must differ by handedness
+    a = np.array([1.0, 0.0, 0.0])
+    b = np.array([0.0, 0.0, 0.0])
+    c = np.array([0.0, 1.0, 0.0])
+    d_plus = place_atom(a, b, c, 1.0, 90.0, 90.0)
+    d_minus = place_atom(a, b, c, 1.0, 90.0, -90.0)
+    assert dihedral_angle(a, b, c, d_plus) == pytest.approx(90.0, abs=1e-8)
+    assert dihedral_angle(a, b, c, d_minus) == pytest.approx(-90.0, abs=1e-8)

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.hpc.balancer import (
+    FixedPackPolicy,
+    FragmentPool,
+    SystemSizeSensitivePolicy,
+)
+
+
+def _pool(costs):
+    costs = np.asarray(costs, dtype=float)
+    return FragmentPool(np.arange(costs.size), costs)
+
+
+def test_pool_sorted_descending():
+    pool = _pool([1.0, 5.0, 3.0])
+    assert list(pool.costs) == [5.0, 3.0, 1.0]
+    assert pool.total_cost == pytest.approx(9.0)
+
+
+def test_pool_take_updates_remaining():
+    pool = _pool([1.0, 5.0, 3.0])
+    sizes, costs, total = pool.take(2)
+    assert total == pytest.approx(8.0)
+    assert pool.remaining_count() == 1
+    assert pool.remaining_cost() == pytest.approx(1.0)
+
+
+def test_pool_take_caps_at_remaining():
+    pool = _pool([2.0, 1.0])
+    _s, _c, total = pool.take(10)
+    assert total == pytest.approx(3.0)
+    assert pool.empty()
+    with pytest.raises(ValueError):
+        pool.take(1)
+
+
+def test_large_fragments_ship_alone():
+    """A fragment exceeding the cost target must go out as its own task."""
+    costs = np.concatenate([[100.0], np.full(1000, 0.1)])
+    pool = _pool(costs)
+    policy = SystemSizeSensitivePolicy(waves=4.0)
+    count = policy.next_count(pool, n_leaders=10)
+    assert count == 1
+
+
+def test_small_fragments_pack_together():
+    pool = _pool(np.full(10000, 0.01))
+    policy = SystemSizeSensitivePolicy(waves=4.0)
+    count = policy.next_count(pool, n_leaders=10)
+    assert count > 10
+
+
+def test_granularity_decays_towards_end():
+    pool = _pool(np.full(10000, 0.01))
+    policy = SystemSizeSensitivePolicy(waves=4.0)
+    first = policy.next_count(pool, n_leaders=10)
+    # drain most of the pool
+    while pool.remaining_count() > 50:
+        pool.take(policy.next_count(pool, n_leaders=10))
+    late = policy.next_count(pool, n_leaders=10)
+    assert late < first
+    assert late >= 1
+
+
+def test_max_pack_respected():
+    pool = _pool(np.full(100000, 1e-6))
+    policy = SystemSizeSensitivePolicy(max_pack=64)
+    assert policy.next_count(pool, n_leaders=1) <= 64
+
+
+def test_fixed_pack_policy():
+    pool = _pool(np.full(10, 1.0))
+    policy = FixedPackPolicy(count=4)
+    assert policy.next_count(pool, 5) == 4
+    pool.take(8)
+    assert policy.next_count(pool, 5) == 2

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.hpc.costmodel import (
+    FragmentCostModel,
+    calibrate_to_throughput,
+    fit_cost_model,
+    paper_calibrated_cost_model,
+)
+
+
+def test_paper_anchor_ratios():
+    """The shape must reproduce the paper's 5.4x (9->35 atoms) and
+    ~19x (9->68 atoms) fragment-cost ratios (§IV-B, §VII-A.1)."""
+    cm = FragmentCostModel(scale=1.0)
+    assert cm.fragment_time(35) / cm.fragment_time(9) == pytest.approx(5.4, rel=0.02)
+    assert cm.fragment_time(68) / cm.fragment_time(9) == pytest.approx(19.0, rel=0.05)
+
+
+def test_leader_time_rounds():
+    cm = FragmentCostModel(scale=1.0)
+    # 6-atom fragment: 37 jobs over 31 workers -> 2 rounds
+    assert cm.leader_time(6, 31) == pytest.approx(2 * cm.job_time(6))
+    # over 5 workers -> 8 rounds
+    assert cm.leader_time(6, 5) == pytest.approx(8 * cm.job_time(6))
+
+
+def test_job_overhead_additivity():
+    cm0 = FragmentCostModel(scale=1.0, job_overhead=0.0)
+    cm1 = FragmentCostModel(scale=1.0, job_overhead=0.1)
+    jobs = 6 * 10 + 1
+    assert cm1.fragment_time(10) == pytest.approx(
+        cm0.fragment_time(10) + 0.1 * jobs
+    )
+
+
+def test_water_anchor_throughput():
+    """Paper Fig. 11: water dimers at 2,406.3 fragments/s on 750 ORISE
+    nodes -> 0.3117 leader-seconds per fragment."""
+    cm = paper_calibrated_cost_model("water_dimer", "ORISE")
+    assert cm.leader_time(6, 31) == pytest.approx(750.0 / 2406.3, rel=1e-6)
+
+
+def test_protein_anchor():
+    cm = paper_calibrated_cost_model("protein", "ORISE")
+    assert cm.leader_time(22, 31) == pytest.approx(750.0 / 93.2, rel=1e-6)
+
+
+def test_unknown_anchor_raises():
+    with pytest.raises(KeyError):
+        paper_calibrated_cost_model("plasma", "ORISE")
+
+
+def test_calibrate_to_throughput_exact():
+    sizes = np.array([9, 12, 22, 30, 35] * 100)
+    cm = calibrate_to_throughput(sizes, 100.0, 750, 31)
+    mean_leader = float(np.mean(cm.leader_time(sizes, 31)))
+    assert 750.0 / mean_leader == pytest.approx(100.0, rel=1e-9)
+
+
+def test_fit_cost_model_recovers_parameters():
+    truth = FragmentCostModel(scale=3.0, job_overhead=0.02)
+    sizes = np.array([6, 9, 15, 22, 30, 40, 55, 68])
+    times = truth.fragment_time(sizes)
+    fitted = fit_cost_model(sizes, times)
+    assert fitted.scale == pytest.approx(3.0, rel=1e-6)
+    assert fitted.job_overhead == pytest.approx(0.02, rel=1e-4)
+
+
+def test_fit_needs_two_points():
+    with pytest.raises(ValueError):
+        fit_cost_model(np.array([5.0]), np.array([1.0]))

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.hpc.des import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(3.0, lambda: log.append("c"))
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(2.0, lambda: log.append("b"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_in_scheduling_order():
+    sim = Simulator()
+    log = []
+    for name in "abc":
+        sim.schedule(1.0, lambda n=name: log.append(n))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    log = []
+
+    def first():
+        log.append(sim.now)
+        sim.schedule(2.0, lambda: log.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert log == [1.0, 3.0]
+
+
+def test_cancel():
+    sim = Simulator()
+    log = []
+    ev = sim.schedule(1.0, lambda: log.append("x"))
+    sim.cancel(ev)
+    sim.run()
+    assert log == []
+    assert sim.events_processed == 0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_run_until():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(5.0, lambda: log.append(5))
+    sim.run(until=2.0)
+    assert log == [1]
+    assert sim.pending == 1
+    sim.run()
+    assert log == [1, 5]
+
+
+def test_event_budget_guards_livelock():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.1, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(RuntimeError, match="budget"):
+        sim.run(max_events=100)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.hpc.metrics import (
+    efficiency_curve,
+    projected_pflops,
+    strong_scaling_efficiency,
+    variation_envelope,
+    weak_scaling_efficiency,
+)
+from repro.hpc.scheduler import SchedulerReport
+
+
+def _report(nodes, makespan, nfrag=100, busy=None):
+    busy = np.full(nodes, makespan * 0.9) if busy is None else busy
+    return SchedulerReport(
+        machine="X", n_nodes=nodes, n_fragments=nfrag, makespan=makespan,
+        busy_times=busy, finish_times=busy, tasks_assigned=np.ones(nodes, int),
+        events=0,
+    )
+
+
+def test_strong_scaling_perfect():
+    base = _report(10, 100.0)
+    doubled = _report(20, 50.0)
+    assert strong_scaling_efficiency(base, doubled) == pytest.approx(100.0)
+
+
+def test_strong_scaling_requires_same_workload():
+    with pytest.raises(ValueError):
+        strong_scaling_efficiency(_report(10, 1.0, nfrag=5), _report(20, 1.0, nfrag=9))
+
+
+def test_weak_scaling_perfect():
+    base = _report(10, 100.0, nfrag=1000)
+    doubled = _report(20, 100.0, nfrag=2000)
+    assert weak_scaling_efficiency(base, doubled) == pytest.approx(100.0)
+
+
+def test_efficiency_curve_sorted_and_based():
+    reports = [_report(40, 26.0), _report(10, 100.0), _report(20, 50.5)]
+    curve = efficiency_curve(reports)
+    assert [n for n, _ in curve] == [10, 20, 40]
+    assert curve[0][1] == pytest.approx(100.0)
+    assert curve[1][1] == pytest.approx(100 * 100 * 10 / (50.5 * 20))
+    assert efficiency_curve([]) == []
+
+
+def test_variation_envelope():
+    busy = np.array([0.9, 1.0, 1.1])
+    rep = _report(3, 1.2, busy=busy)
+    rows = variation_envelope([rep])
+    assert rows[0][0] == 3
+    assert rows[0][1] == pytest.approx(-10.0)
+    assert rows[0][2] == pytest.approx(10.0)
+
+
+def test_projected_pflops():
+    rates = {10: 1.0, 30: 3.0}
+    dist = np.array([10, 10, 30, 30])
+    # mean rate = 2 TFLOPS, 1000 accelerators -> 2 PFLOPS
+    assert projected_pflops(rates, dist, 1000) == pytest.approx(2.0)

@@ -1,0 +1,77 @@
+import pytest
+
+from repro.hpc.machine import ORISE, SUNWAY
+from repro.hpc.offload import HOST_CORE_GFLOPS, OffloadModel, dfpt_cycle_speedups
+
+
+@pytest.fixture(scope="module")
+def orise_model():
+    return OffloadModel.for_machine(ORISE)
+
+
+@pytest.fixture(scope="module")
+def sunway_model():
+    return OffloadModel.for_machine(SUNWAY)
+
+
+def test_efficiency_increases_with_size(orise_model):
+    assert orise_model.efficiency(32) < orise_model.efficiency(128)
+    assert orise_model.efficiency(128) < orise_model.max_efficiency
+
+
+def test_efficiency_increases_with_batch(orise_model):
+    assert orise_model.efficiency(64, batch=1) < orise_model.efficiency(64, batch=64)
+
+
+def test_single_small_gemm_not_profitable(orise_model):
+    """The paper's motivation (§IV-B): a lone small GEMM is too small
+    to offload (launch + input transfer dominate); a 64-batch of the
+    same shape is profitable."""
+    m = n = 32
+    k = 64
+    assert not orise_model.profitable(m, n, k, batch=1)
+    assert orise_model.profitable(m, n, k, batch=64)
+
+
+def test_achieved_rates_in_table1_windows(orise_model, sunway_model):
+    """Table I per-accelerator FP64 windows: ORISE 0.95-3.93 TFLOPS,
+    Sunway 2.10-4.87 across the fragment size range."""
+    for dim in (32, 64, 96, 160, 224):
+        r_o = orise_model.achieved_tflops(dim, dim, 3072, 64)
+        r_s = sunway_model.achieved_tflops(dim, dim, 3072, 64)
+        assert 0.9 < r_o < 4.3, (dim, r_o)
+        assert 2.0 < r_s < 5.2, (dim, r_s)
+
+
+def test_host_time_linear():
+    m = OffloadModel(ORISE)
+    assert m.host_time(HOST_CORE_GFLOPS * 1e9) == pytest.approx(1.0)
+
+
+def test_speedups_shape(orise_model, sunway_model):
+    """Fig. 9 qualitative shape: offload speedup grows with fragment
+    size and multiplies the symmetry-reduction gain by >2x."""
+    def frag(model, natoms):
+        nbf = int(natoms * 2.9)
+        dim = ((nbf + 31) // 32) * 32
+        fl = {"n1r": natoms * nbf * nbf * 1000, "h1": 3 * natoms * nbf * nbf * 1000}
+        frac = min(0.88, 0.88 - 1.6 / natoms + 1.6 / 68)
+        return dfpt_cycle_speedups(
+            model, fl, gemm_dim=dim, n_gemms=60 * natoms,
+            sym_reduction={"h1": 3.0, "n1r": 2.0},
+            gemm_time_fraction=frac, grid_batch=150 * natoms,
+        )
+
+    small = frag(orise_model, 9)
+    large = frag(orise_model, 68)
+    assert small["sym"] > 2.0
+    assert small["sym+offload"] > 1.3 * small["sym"]
+    assert large["sym+offload"] > small["sym+offload"]
+    # Sunway overlaps transfers: at least as fast as ORISE's composition
+    s_small = frag(sunway_model, 9)
+    assert s_small["sym+offload"] >= small["sym+offload"] * 0.9
+
+
+def test_speedups_validate_input(orise_model):
+    with pytest.raises(ValueError):
+        dfpt_cycle_speedups(orise_model, {}, 32, 10, {})

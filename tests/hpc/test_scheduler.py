@@ -1,0 +1,147 @@
+import numpy as np
+import pytest
+
+from repro.hpc.balancer import FixedPackPolicy, RoundRobinPolicy
+from repro.hpc.costmodel import FragmentCostModel, paper_calibrated_cost_model
+from repro.hpc.machine import ORISE, SUNWAY
+from repro.hpc.scheduler import simulate_qf_run
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    return rng.integers(9, 36, size=4000)
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return paper_calibrated_cost_model("protein", "ORISE")
+
+
+def test_all_fragments_processed(workload, cost_model):
+    rep = simulate_qf_run(ORISE, 50, workload, cost_model, seed=1)
+    assert rep.n_fragments == workload.size
+    assert rep.tasks_assigned.sum() > 0
+    assert rep.makespan > 0
+
+
+def test_work_conservation(workload, cost_model):
+    """Total busy time equals total fragment cost (within noise)."""
+    rep = simulate_qf_run(ORISE, 50, workload, cost_model, seed=1,
+                          job_noise=1e-9)
+    expect = float(np.sum(cost_model.leader_time(workload, ORISE.workers_per_leader)))
+    assert rep.busy_times.sum() == pytest.approx(expect, rel=1e-3)
+
+
+def test_more_nodes_faster(workload, cost_model):
+    t = {}
+    for n in (25, 50, 100):
+        t[n] = simulate_qf_run(ORISE, n, workload, cost_model, seed=1).makespan
+    assert t[50] < t[25]
+    assert t[100] < t[50]
+
+
+def test_scaling_efficiency_reasonable(workload, cost_model):
+    base = simulate_qf_run(ORISE, 25, workload, cost_model, seed=1)
+    big = simulate_qf_run(ORISE, 100, workload, cost_model, seed=1)
+    eff = base.makespan * 25 / (big.makespan * 100)
+    assert 0.8 < eff <= 1.02
+
+
+def test_uniform_workload_balances_tightly(cost_model):
+    sizes = np.full(20000, 6)
+    cm = paper_calibrated_cost_model("water_dimer", "ORISE")
+    rep = simulate_qf_run(ORISE, 40, sizes, cm, seed=2, job_noise=0.005)
+    lo, hi = rep.time_variation()
+    assert -2.0 < lo <= 0.0 <= hi < 2.0
+
+
+def test_size_sensitive_beats_round_robin(workload, cost_model):
+    """The paper's policy must beat static round-robin on makespan for
+    heterogeneous fragments (the Fig. 8/ablation claim)."""
+    dyn = simulate_qf_run(ORISE, 100, workload, cost_model, seed=3)
+    rr = simulate_qf_run(ORISE, 100, workload, cost_model, seed=3,
+                         policy=RoundRobinPolicy())
+    assert dyn.makespan <= rr.makespan
+    assert dyn.time_variation()[1] <= rr.time_variation()[1] + 1.0
+
+
+def test_prefetch_reduces_makespan(cost_model):
+    """With a slow interconnect relative to task length, the master
+    round trip shows up as inter-task idle; prefetch hides it
+    (Fig. 4d/e)."""
+    from dataclasses import replace
+
+    machine = replace(ORISE, comm_latency_s=5e-4, master_service_s=1e-6)
+    sizes = np.full(2000, 6)
+    cm = FragmentCostModel(scale=0.05)
+    on = simulate_qf_run(machine, 20, sizes, cm, seed=4,
+                         policy=FixedPackPolicy(count=1))
+    off = simulate_qf_run(machine, 20, sizes, cm, seed=4, prefetch=False,
+                          policy=FixedPackPolicy(count=1))
+    assert on.makespan < 0.9 * off.makespan
+
+
+def test_speedup_parameter_scales_time(workload, cost_model):
+    r1 = simulate_qf_run(ORISE, 50, workload, cost_model, seed=5)
+    r2 = simulate_qf_run(ORISE, 50, workload, cost_model, seed=5, speedup=2.0)
+    assert r2.makespan == pytest.approx(r1.makespan / 2.0, rel=0.02)
+
+
+def test_leader_costs_override(cost_model):
+    from dataclasses import replace
+
+    sizes = np.full(100, 10)
+    costs = np.full(100, 0.5)
+    machine = replace(SUNWAY, node_speed_jitter=1e-12)
+    rep = simulate_qf_run(machine, 10, sizes, leader_costs=costs, seed=6,
+                          job_noise=1e-12)
+    assert rep.busy_times.sum() == pytest.approx(50.0, rel=1e-3)
+
+
+def test_node_count_validated(workload, cost_model):
+    with pytest.raises(ValueError):
+        simulate_qf_run(ORISE, 10000, workload, cost_model)
+
+
+def test_needs_cost_source(workload):
+    with pytest.raises(ValueError, match="cost_model or leader_costs"):
+        simulate_qf_run(ORISE, 10, workload)
+
+
+def test_deterministic_given_seed(workload, cost_model):
+    r1 = simulate_qf_run(ORISE, 30, workload, cost_model, seed=7)
+    r2 = simulate_qf_run(ORISE, 30, workload, cost_model, seed=7)
+    assert r1.makespan == r2.makespan
+    assert np.array_equal(r1.busy_times, r2.busy_times)
+
+
+def test_straggler_reissue_bounds_makespan(cost_model):
+    """Fault tolerance (§V-B): a stalled task is detected and re-issued;
+    the makespan stays near the healthy run instead of inflating by the
+    straggler factor."""
+    rng = np.random.default_rng(0)
+    sizes = rng.integers(9, 36, size=2000)
+    healthy = simulate_qf_run(ORISE, 40, sizes, cost_model, seed=8)
+    faulty = simulate_qf_run(ORISE, 40, sizes, cost_model, seed=8,
+                             straggler_prob=0.02, straggler_factor=50.0,
+                             timeout_factor=4.0)
+    assert faulty.extras["reissues"] > 0
+    # without re-execution a single 50x straggler on the largest task
+    # would dominate; with it the slowdown stays modest
+    assert faulty.makespan < 4.0 * healthy.makespan
+
+
+def test_straggler_all_fragments_still_processed(cost_model):
+    sizes = np.full(500, 12)
+    rep = simulate_qf_run(ORISE, 10, sizes, cost_model, seed=9,
+                          straggler_prob=0.05, straggler_factor=30.0,
+                          timeout_factor=3.0)
+    assert rep.n_fragments == 500
+    # duplicated completions never double-count unique tasks
+    assert rep.extras["reissues"] >= 0
+
+
+def test_no_stragglers_no_reissues(workload, cost_model):
+    rep = simulate_qf_run(ORISE, 30, workload, cost_model, seed=10)
+    assert rep.extras["reissues"] == 0

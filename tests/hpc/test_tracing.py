@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.hpc.costmodel import FragmentCostModel
+from repro.hpc.machine import ORISE
+from repro.hpc.tracing import TaskInterval, TraceRecorder, traced_simulation
+
+
+def test_recorder_basic():
+    tr = TraceRecorder()
+    tr.record(0, 0.0, 1.0, 3)
+    tr.record(1, 0.5, 2.0, 1, reissue=True)
+    assert tr.makespan() == pytest.approx(2.0)
+    assert tr.utilization(2) == pytest.approx((1.0 + 1.5) / (2 * 2.0))
+
+
+def test_recorder_validates():
+    with pytest.raises(ValueError):
+        TraceRecorder().record(0, 2.0, 1.0, 1)
+
+
+def test_gantt_renders():
+    tr = TraceRecorder()
+    tr.record(0, 0.0, 1.0, 2)
+    tr.record(1, 1.0, 2.0, 2, reissue=True)
+    chart = tr.gantt(2, width=40)
+    lines = chart.splitlines()
+    assert lines[0].startswith("L0")
+    assert "#" in lines[0]
+    assert "R" in lines[1]
+
+
+def test_gantt_empty():
+    assert "empty" in TraceRecorder().gantt(2)
+
+
+def test_traced_simulation_consistency():
+    sizes = np.full(200, 12)
+    cm = FragmentCostModel(scale=0.1)
+    report, trace = traced_simulation(ORISE, 8, sizes, cm, seed=0)
+    assert report.n_fragments == 200
+    assert trace.makespan() <= report.finish_times.max() + 1e-9
+    assert 0.0 < trace.utilization(8) <= 1.0
+    chart = trace.gantt(8)
+    assert chart.count("\n") == 8  # 8 leader rows + footer

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.kernels.batched import BatchedGemmExecutor, pad_to_stride
+
+
+def test_pad_to_stride():
+    assert pad_to_stride(1) == 32
+    assert pad_to_stride(32) == 32
+    assert pad_to_stride(33) == 64
+    assert pad_to_stride(100, stride=16) == 112
+    with pytest.raises(ValueError):
+        pad_to_stride(0)
+
+
+def test_results_correct_in_submission_order():
+    rng = np.random.default_rng(0)
+    ex = BatchedGemmExecutor(min_batch=2)
+    mats = [
+        (rng.normal(size=(rng.integers(3, 40), 20)), rng.normal(size=(20, 11)))
+        for _ in range(25)
+    ]
+    slots = [ex.submit(a, b) for a, b in mats]
+    results = ex.flush()
+    for slot, (a, b) in zip(slots, mats):
+        assert np.allclose(results[slot], a @ b, atol=1e-10)
+
+
+def test_batching_groups_same_padded_shape():
+    rng = np.random.default_rng(1)
+    ex = BatchedGemmExecutor(min_batch=4)
+    # 30 and 25 both pad to 32: one batch
+    for _ in range(8):
+        m = int(rng.integers(25, 33))
+        ex.submit(rng.normal(size=(m, 30)), rng.normal(size=(30, 28)))
+    ex.flush()
+    assert ex.batches_executed == 1
+    assert ex.singles_executed == 0
+
+
+def test_small_groups_run_individually():
+    rng = np.random.default_rng(2)
+    ex = BatchedGemmExecutor(min_batch=64)
+    for _ in range(5):
+        ex.submit(rng.normal(size=(10, 10)), rng.normal(size=(10, 10)))
+    ex.flush()
+    assert ex.batches_executed == 0
+    assert ex.singles_executed == 5
+
+
+def test_flop_accounting():
+    ex = BatchedGemmExecutor(min_batch=1, stride=32)
+    a = np.ones((10, 20))
+    b = np.ones((20, 5))
+    ex.submit(a, b)
+    ex.flush()
+    assert ex.flops.total("useful") == 2 * 10 * 5 * 20
+    assert ex.flops.total("padded") == 2 * 32 * 32 * 32
+    assert ex.padding_overhead() == pytest.approx(
+        (2 * 32 ** 3) / (2 * 10 * 5 * 20)
+    )
+
+
+def test_no_padding_overhead_when_nothing_batched():
+    ex = BatchedGemmExecutor(min_batch=99)
+    ex.submit(np.ones((4, 4)), np.ones((4, 4)))
+    ex.flush()
+    assert ex.padding_overhead() == 1.0
+
+
+def test_invalid_shapes_rejected():
+    ex = BatchedGemmExecutor()
+    with pytest.raises(ValueError):
+        ex.submit(np.ones((3, 4)), np.ones((5, 6)))
+
+
+def test_flush_clears_queue():
+    ex = BatchedGemmExecutor(min_batch=1)
+    ex.submit(np.ones((2, 2)), np.ones((2, 2)))
+    assert ex.pending() == 1
+    ex.flush()
+    assert ex.pending() == 0
+    assert ex.flush() == []

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.kernels.strength_reduction import (
+    h1_integration_naive,
+    h1_integration_symmetric,
+    rho1_gradient_naive,
+    rho1_gradient_symmetric,
+)
+from repro.utils.flops import FlopCounter
+
+
+@pytest.fixture()
+def grid_data():
+    rng = np.random.default_rng(0)
+    chi = rng.normal(size=(300, 25))
+    dchi = rng.normal(size=(300, 25))
+    p1 = rng.normal(size=(25, 25))
+    return chi, dchi, p1 + p1.T
+
+
+def test_h1_variants_equal(grid_data):
+    chi, dchi, _ = grid_data
+    a = h1_integration_naive(chi, dchi)
+    b = h1_integration_symmetric(chi, dchi)
+    assert np.allclose(a, b, atol=1e-10)
+
+
+def test_h1_flop_reduction_is_three(grid_data):
+    chi, dchi, _ = grid_data
+    f1, f2 = FlopCounter(), FlopCounter()
+    h1_integration_naive(chi, dchi, f1)
+    h1_integration_symmetric(chi, dchi, f2)
+    assert f1.total("h1") / f2.total("h1") == pytest.approx(3.0)
+
+
+def test_h1_output_symmetric(grid_data):
+    chi, dchi, _ = grid_data
+    out = h1_integration_symmetric(chi, dchi)
+    assert np.allclose(out, out.T, atol=1e-12)
+
+
+def test_rho1_variants_equal(grid_data):
+    chi, dchi, p1 = grid_data
+    a = rho1_gradient_naive(chi, dchi, p1)
+    b = rho1_gradient_symmetric(chi, dchi, p1)
+    assert np.allclose(a, b, atol=1e-10)
+
+
+def test_rho1_flop_reduction_is_two(grid_data):
+    chi, dchi, p1 = grid_data
+    f1, f2 = FlopCounter(), FlopCounter()
+    rho1_gradient_naive(chi, dchi, p1, f1)
+    rho1_gradient_symmetric(chi, dchi, p1, f2)
+    assert f1.total("rho1_grad") / f2.total("rho1_grad") == pytest.approx(2.0)
+
+
+def test_rho1_symmetric_requires_symmetric_p(grid_data):
+    chi, dchi, _ = grid_data
+    rng = np.random.default_rng(1)
+    p_asym = rng.normal(size=(25, 25))
+    with pytest.raises(ValueError, match="symmetric"):
+        rho1_gradient_symmetric(chi, dchi, p_asym)
+
+
+def test_on_real_response_data(water_scf_df):
+    """The identities must hold on genuine chi/grad-chi/P(1) data."""
+    from repro.dfpt.cphf import CPHF
+    from repro.scf.grid import build_grid, evaluate_basis
+
+    cp = CPHF(water_scf_df).run()
+    grid = build_grid(water_scf_df.geometry, radial_points=20, angular_order=6)
+    chi, dchi = evaluate_basis(water_scf_df.basis, grid.points, derivative=True)
+    p1 = cp.p1[2]
+    for d in range(3):
+        a = rho1_gradient_naive(chi, dchi[d], p1)
+        b = rho1_gradient_symmetric(chi, dchi[d], p1)
+        assert np.allclose(a, b, atol=1e-9)

@@ -1,0 +1,47 @@
+import numpy as np
+import pytest
+
+from repro.dfpt import fragment_response
+from repro.geometry import water_molecule
+from repro.pipeline.cache import ResponseCache, response_key
+
+
+def test_key_deterministic_and_sensitive():
+    w = water_molecule()
+    k1 = response_key(w, "sto-3g", 5e-3)
+    k2 = response_key(w, "sto-3g", 5e-3)
+    assert k1 == k2
+    assert response_key(w.displaced(0, 0, 1e-6), "sto-3g", 5e-3) != k1
+    assert response_key(w, "sto-3g", 1e-3) != k1
+
+
+def test_miss_then_hit(tmp_path, water_optimized):
+    cache = ResponseCache(tmp_path)
+    geom = water_optimized.geometry
+    assert cache.load(geom, "sto-3g", 5e-3) is None
+    resp = fragment_response(geom, eri_mode="df", compute_ir=True)
+    cache.store(resp, "sto-3g", 5e-3)
+    back = cache.load(geom, "sto-3g", 5e-3)
+    assert back is not None
+    assert back.energy == pytest.approx(resp.energy)
+    assert np.allclose(back.hessian, resp.hessian)
+    assert np.allclose(back.dalpha_dr, resp.dalpha_dr)
+    assert np.allclose(back.dmu_dr, resp.dmu_dr)
+    assert back.meta["cached"]
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_pipeline_uses_cache(tmp_path):
+    from repro.pipeline import QFRamanPipeline
+
+    waters = [water_molecule()]
+    omega = np.linspace(500, 5000, 50)
+    p1 = QFRamanPipeline(waters=waters, cache_dir=tmp_path)
+    r1 = p1.run(omega_cm1=omega)
+    assert r1.unique_pieces == 1
+    # a fresh pipeline over the same geometry computes nothing new
+    p2 = QFRamanPipeline(waters=waters, cache_dir=tmp_path)
+    r2 = p2.run(omega_cm1=omega)
+    assert r2.unique_pieces == 0
+    assert np.allclose(r1.spectrum.intensity, r2.spectrum.intensity)

@@ -1,0 +1,32 @@
+import numpy as np
+import pytest
+
+from repro.geometry import water_molecule
+from repro.geometry.atoms import Geometry
+from repro.pipeline.optimize import optimize_qf_geometry
+from repro.scf.optimize import optimize_geometry
+
+
+@pytest.mark.slow
+def test_qf_optimization_single_water_matches_direct():
+    """With one water (one piece), QF optimization must reduce to the
+    plain optimizer."""
+    out = optimize_qf_geometry(waters=[water_molecule()], gtol=5e-4,
+                               eri_mode="exact")
+    assert out.converged
+    direct = optimize_geometry(water_molecule(), eri_mode="exact")
+    assert out.energy == pytest.approx(direct.energy, abs=1e-5)
+
+
+@pytest.mark.slow
+def test_qf_optimization_water_pair_binds():
+    """Two nearby waters: the QF surface (monomers + two-body piece)
+    must relax into a bound arrangement with a lower QF energy."""
+    w1 = water_molecule()
+    w2 = water_molecule(center=(0.0, 0.0, 3.4))
+    out = optimize_qf_geometry(waters=[w1, w2], gtol=1.5e-3, max_iter=40)
+    e_isolated = 2 * optimize_geometry(water_molecule(), eri_mode="df").energy
+    assert out.energy < e_isolated - 1e-4  # binding on the QF surface
+    # oxygens stay at hydrogen-bonding distance, not collapsed or flown apart
+    d_oo = np.linalg.norm(out.waters[1].coords[0] - out.waters[0].coords[0])
+    assert 4.0 < d_oo < 7.5  # bohr (~2.1-4.0 A)

@@ -1,0 +1,87 @@
+"""Density fitting: tensors, Fock builds, accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.basis import build_basis
+from repro.geometry import water_molecule
+from repro.integrals.engine import IntegralEngine
+from repro.scf.df import DensityFitting, _even_tempered, auto_aux_basis
+
+
+@pytest.fixture(scope="module")
+def water_df():
+    w = water_molecule()
+    basis = build_basis(w)
+    eng = IntegralEngine(basis, w.numbers.astype(float), w.coords)
+    aux = auto_aux_basis(w, basis)
+    return w, basis, eng, DensityFitting(eng, aux)
+
+
+def test_even_tempered_covers_range():
+    exps = _even_tempered(0.5, 50.0, 3.0)
+    assert exps[0] == pytest.approx(0.5)
+    assert exps[-1] == pytest.approx(50.0)
+    ratios = [exps[i + 1] / exps[i] for i in range(len(exps) - 1)]
+    assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+
+def test_even_tempered_single_point():
+    exps = _even_tempered(2.0, 2.0, 3.0)
+    assert len(exps) == 1
+    assert exps[0] == pytest.approx(2.0)
+
+
+def test_aux_basis_has_all_atoms(water_df):
+    w, basis, _eng, df = water_df
+    atoms = set(df.aux.function_atom_map())
+    assert atoms == {0, 1, 2}
+
+
+def test_metric_positive_definite(water_df):
+    *_ , df = water_df
+    evals = np.linalg.eigvalsh(df.v2c)
+    assert evals.min() > 0
+
+
+def test_j3c_symmetry(water_df):
+    *_, df = water_df
+    assert np.allclose(df.j3c, df.j3c.transpose(1, 0, 2), atol=1e-11)
+
+
+def test_df_eri_close_to_exact(water_df):
+    _w, _basis, eng, df = water_df
+    exact = eng.eri()
+    approx = df.eri_approx()
+    # elementwise DF error on water stays below ~2 mHa
+    assert np.abs(exact - approx).max() < 3e-3
+
+
+def test_df_eri_positive_diagonal(water_df):
+    *_, df = water_df
+    approx = df.eri_approx()
+    nbf = approx.shape[0]
+    for i in range(nbf):
+        for j in range(nbf):
+            assert approx[i, j, i, j] >= -1e-12  # Cauchy-Schwarz diagonal
+
+
+def test_coulomb_exchange_consistency(water_df):
+    """exchange(c_occ) must equal exchange_density(2 C C^T)."""
+    _w, basis, _eng, df = water_df
+    rng = np.random.default_rng(0)
+    c_occ = rng.normal(size=(basis.nbf, 3))
+    p = 2.0 * c_occ @ c_occ.T
+    k1 = df.exchange(c_occ)
+    k2 = df.exchange_density(p)
+    assert np.allclose(k1, k2, atol=1e-10)
+
+
+def test_coulomb_matches_eri_contraction(water_df):
+    _w, basis, _eng, df = water_df
+    rng = np.random.default_rng(1)
+    p = rng.normal(size=(basis.nbf, basis.nbf))
+    p = p + p.T
+    j_df = df.coulomb(p)
+    j_ref = np.einsum("abcd,cd->ab", df.eri_approx(), p)
+    assert np.allclose(j_df, j_ref, atol=1e-10)

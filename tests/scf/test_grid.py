@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.geometry import water_molecule
+from repro.scf.grid import (
+    build_grid,
+    density_on_grid,
+    evaluate_basis,
+    gauss_chebyshev_radial,
+    lebedev,
+)
+
+
+@pytest.mark.parametrize("order", [6, 26, 38])
+def test_lebedev_weights_normalized(order):
+    pts, wts = lebedev(order)
+    assert wts.sum() == pytest.approx(1.0)
+    assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+
+@pytest.mark.parametrize("order", [6, 26, 38])
+def test_lebedev_second_moment(order):
+    pts, wts = lebedev(order)
+    assert np.sum(wts * pts[:, 0] ** 2) == pytest.approx(1.0 / 3.0)
+
+
+@pytest.mark.parametrize("order", [26, 38])
+def test_lebedev_fourth_moment(order):
+    pts, wts = lebedev(order)
+    # <x^4> over sphere = 1/5; only rules above order 3 integrate it
+    assert np.sum(wts * pts[:, 0] ** 4) == pytest.approx(0.2, abs=1e-12)
+    assert np.sum(wts * pts[:, 0] ** 2 * pts[:, 1] ** 2) == pytest.approx(
+        1.0 / 15.0, abs=1e-12
+    )
+
+
+def test_radial_integrates_gaussian():
+    # int_0^inf r^2 exp(-r^2) dr = sqrt(pi)/4
+    r, w = gauss_chebyshev_radial(60, scale=1.0)
+    val = np.sum(w * r ** 2 * np.exp(-(r ** 2)))
+    assert val == pytest.approx(np.sqrt(np.pi) / 4.0, rel=1e-6)
+
+
+def test_grid_integrates_electron_count(water_scf_df):
+    geom = water_scf_df.geometry
+    grid = build_grid(geom, radial_points=50, angular_order=26)
+    chi = evaluate_basis(water_scf_df.basis, grid.points)
+    n = density_on_grid(chi, water_scf_df.density)
+    total = float(np.sum(grid.weights * n))
+    assert total == pytest.approx(10.0, abs=0.05)
+
+
+def test_grid_integrates_overlap(water_scf_df):
+    """Quadrature of chi_m chi_n must reproduce the overlap matrix."""
+    geom = water_scf_df.geometry
+    grid = build_grid(geom, radial_points=60, angular_order=38)
+    chi = evaluate_basis(water_scf_df.basis, grid.points)
+    s_grid = (chi * grid.weights[:, None]).T @ chi
+    assert np.allclose(s_grid, water_scf_df.overlap, atol=5e-3)
+
+
+def test_basis_gradient_vs_fd(water_scf_df):
+    rng = np.random.default_rng(0)
+    pts = rng.normal(scale=1.5, size=(40, 3))
+    chi, dchi = evaluate_basis(water_scf_df.basis, pts, derivative=True)
+    eps = 1e-6
+    for d in range(3):
+        shift = np.zeros(3)
+        shift[d] = eps
+        cp = evaluate_basis(water_scf_df.basis, pts + shift)
+        cm = evaluate_basis(water_scf_df.basis, pts - shift)
+        assert np.allclose((cp - cm) / (2 * eps), dchi[d], atol=1e-6)
+
+
+def test_density_nonnegative(water_scf_df):
+    geom = water_scf_df.geometry
+    grid = build_grid(geom, radial_points=30, angular_order=6)
+    chi = evaluate_basis(water_scf_df.basis, grid.points)
+    n = density_on_grid(chi, water_scf_df.density)
+    assert n.min() > -1e-10

@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.scf import RHF
+from repro.scf.mp2 import mp2_energy, mp2_total_energy
+
+
+def test_h2_mp2_literature(h2):
+    """MP2/STO-3G for H2 at 1.4 a0: E_corr ~ -0.0131 Eh (a standard
+    teaching value; the minimal basis has exactly one virtual)."""
+    scf = RHF(h2, eri_mode="exact").run()
+    e2 = mp2_energy(scf)
+    assert e2 == pytest.approx(-0.0131, abs=1e-3)
+
+
+def test_water_mp2_negative_and_sane(water_scf_exact):
+    e2 = mp2_energy(water_scf_exact)
+    # STO-3G water MP2 correlation: a few tens of millihartree
+    assert -0.08 < e2 < -0.02
+
+
+def test_df_matches_exact(water_scf_exact, water_scf_df):
+    e_exact = mp2_energy(water_scf_exact)
+    e_df = mp2_energy(water_scf_df)
+    assert e_df == pytest.approx(e_exact, abs=2e-3)
+
+
+def test_total_energy(water_scf_exact):
+    assert mp2_total_energy(water_scf_exact) == pytest.approx(
+        water_scf_exact.energy + mp2_energy(water_scf_exact)
+    )
+
+
+def test_requires_converged(water_scf_df):
+    import dataclasses
+
+    broken = dataclasses.replace(water_scf_df, converged=False)
+    with pytest.raises(ValueError, match="converged"):
+        mp2_energy(broken)
+
+
+def test_mp2_size_consistency():
+    """Two far-separated H2 molecules: E2(pair) = 2 E2(monomer)."""
+    from repro.geometry.atoms import Geometry
+
+    h2 = Geometry(["H", "H"], np.array([[0, 0, 0], [0, 0, 1.4]]))
+    pair = Geometry(
+        ["H", "H", "H", "H"],
+        np.array([[0, 0, 0], [0, 0, 1.4], [60, 0, 0], [60, 0, 1.4]]),
+    )
+    e_mono = mp2_energy(RHF(h2, eri_mode="exact").run())
+    e_pair = mp2_energy(RHF(pair, eri_mode="exact").run())
+    assert e_pair == pytest.approx(2 * e_mono, abs=1e-6)

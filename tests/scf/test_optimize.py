@@ -1,0 +1,40 @@
+import numpy as np
+import pytest
+
+from repro.constants import BOHR_TO_ANGSTROM
+from repro.dfpt.gradient import gradient
+from repro.scf import RHF
+from repro.scf.optimize import optimize_geometry
+
+
+def test_water_optimization(water_optimized):
+    opt = water_optimized
+    assert opt.converged
+    assert opt.grad_max < 3e-3
+    # STO-3G RHF water: r(OH) ~ 0.989 A, angle ~ 100 deg
+    c = opt.geometry.coords_angstrom()
+    r1 = np.linalg.norm(c[1] - c[0])
+    r2 = np.linalg.norm(c[2] - c[0])
+    assert r1 == pytest.approx(0.989, abs=5e-3)
+    assert r2 == pytest.approx(0.989, abs=5e-3)
+
+
+def test_optimized_energy_below_start(water_optimized, water):
+    e_start = RHF(water, eri_mode="df").run().energy
+    assert water_optimized.energy < e_start
+
+
+def test_gradient_small_at_minimum(water_optimized):
+    res = RHF(water_optimized.geometry, eri_mode="df").run()
+    g = gradient(res)
+    assert np.abs(g).max() < 1e-3
+
+
+def test_h2_bond_length():
+    from repro.geometry.atoms import Geometry
+
+    g = Geometry(["H", "H"], np.array([[0, 0, 0], [0, 0, 1.3]]))
+    opt = optimize_geometry(g, eri_mode="exact")
+    r = np.linalg.norm(opt.geometry.coords[1] - opt.geometry.coords[0])
+    # STO-3G H2 equilibrium: 1.346 bohr (0.712 A)
+    assert r == pytest.approx(1.346, abs=5e-3)

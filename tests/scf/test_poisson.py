@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.scf.poisson import (
+    UniformGrid,
+    gaussian_density,
+    gaussian_potential_exact,
+    grid_for_geometry,
+    solve_poisson,
+)
+
+
+def test_grid_for_geometry_covers_molecule():
+    coords = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 3.0]])
+    g = grid_for_geometry(coords, n=16, margin=4.0)
+    pts = g.points()
+    assert pts.min() <= -3.5
+    assert pts.max() >= 6.5
+    assert pts.shape == (16 ** 3, 3)
+
+
+def test_poisson_gaussian_vs_analytic():
+    g = UniformGrid(origin=np.array([-8.0, -8.0, -8.0]), n=48, h=16.0 / 47)
+    center = np.zeros(3)
+    rho = gaussian_density(g, center, alpha=1.0)
+    v = solve_poisson(rho, g.h)
+    v_exact = gaussian_potential_exact(g, center, alpha=1.0)
+    # compare in the interior where both charge and boundary effects are
+    # controlled
+    pts = g.points().reshape(g.shape + (3,))
+    r = np.linalg.norm(pts - center, axis=-1)
+    mask = (r > 0.5) & (r < 4.0)
+    rel = np.abs(v[mask] - v_exact[mask]) / np.abs(v_exact[mask])
+    assert np.median(rel) < 0.03
+
+
+def test_poisson_total_charge_neutrality_of_field():
+    """The spectral solve is zero-mean by construction (k=0 removed)."""
+    g = UniformGrid(origin=np.array([-6.0, -6.0, -6.0]), n=24, h=0.5)
+    rho = gaussian_density(g, np.zeros(3), alpha=2.0)
+    v = solve_poisson(rho, g.h, pad_factor=2)
+    assert np.isfinite(v).all()
+
+
+def test_poisson_linearity():
+    g = UniformGrid(origin=np.array([-6.0, -6.0, -6.0]), n=24, h=0.5)
+    r1 = gaussian_density(g, np.array([-1.0, 0.0, 0.0]), alpha=1.5)
+    r2 = gaussian_density(g, np.array([1.0, 0.0, 0.0]), alpha=0.8)
+    v12 = solve_poisson(r1 + r2, g.h)
+    v1 = solve_poisson(r1, g.h)
+    v2 = solve_poisson(r2, g.h)
+    assert np.allclose(v12, v1 + v2, atol=1e-10)
+
+
+def test_poisson_rejects_non_cube():
+    with pytest.raises(ValueError):
+        solve_poisson(np.zeros((4, 4, 5)), 0.5)
+
+
+def test_volume_element():
+    g = UniformGrid(origin=np.zeros(3), n=10, h=0.25)
+    assert g.volume_element == pytest.approx(0.25 ** 3)

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.scf import RHF
+from repro.scf.rks import RKS
+
+
+@pytest.fixture(scope="module")
+def water_rks(water):
+    res = RKS(water, radial_points=60).run()
+    assert res.converged
+    return res
+
+
+def test_lda_water_energy(water_rks):
+    # SVWN/STO-3G water sits near -74.73 Eh (grid-converged codes)
+    assert water_rks.energy == pytest.approx(-74.73, abs=3e-2)
+
+
+def test_lda_below_hf_exchange_correlation(water, water_rks, water_scf_df):
+    """LDA total energy differs from HF by the XC treatment: it should
+    be higher (less negative) for water in a minimal basis."""
+    assert water_rks.energy > water_scf_df.energy
+
+
+def test_rks_density_trace(water_rks):
+    n = np.sum(water_rks.density * water_rks.overlap)
+    assert n == pytest.approx(10.0, abs=1e-8)
+
+
+def test_rks_extras_populated(water_rks):
+    xc = water_rks.extras["xc"]
+    assert xc["name"] == "lda"
+    assert xc["rho"].ndim == 1
+    assert xc["fxc"].shape == xc["rho"].shape
+    assert xc["exc"] < 0
+
+
+def test_cpks_matches_finite_field(water):
+    from repro.dfpt.cphf import CPHF
+
+    res = RKS(water, radial_points=60).run()
+    alpha = CPHF(res).run().alpha
+    f = 2e-3
+    for x in (0, 2):
+        fv = np.zeros(3)
+        fv[x] = f
+        ep = RKS(water, radial_points=60, field_vector=fv).run().energy
+        em = RKS(water, radial_points=60, field_vector=-fv).run().energy
+        a_ff = -(ep - 2 * res.energy + em) / f ** 2
+        assert alpha[x, x] == pytest.approx(a_ff, rel=1e-3)
+
+
+def test_rks_vs_rhf_polarizability_same_scale(water):
+    """CPKS and CPHF polarizabilities must agree in scale (the LDA-
+    vs-HF spread in a minimal basis is tens of percent, not factors);
+    a kernel sign error would flip or blow up the response."""
+    from repro.dfpt.cphf import CPHF
+
+    a_ks = CPHF(RKS(water, radial_points=60).run()).run().alpha
+    a_hf = CPHF(RHF(water, eri_mode="df").run()).run().alpha
+    ratio = np.trace(a_ks) / np.trace(a_hf)
+    assert 0.7 < ratio < 1.4
+    assert np.all(np.linalg.eigvalsh(a_ks) > 0)

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.dfpt import fragment_response
+from repro.spectra.ir import ir_intensities, ir_spectrum_dense
+
+
+def test_ir_intensities_validation():
+    with pytest.raises(ValueError):
+        ir_intensities(np.zeros((3, 2)))
+
+
+def test_ir_intensities_values():
+    d = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 2.0]])
+    out = ir_intensities(d)
+    assert out[0] == pytest.approx(1.0)
+    assert out[1] == pytest.approx(8.0)
+
+
+@pytest.fixture(scope="module")
+def water_ir(water_optimized):
+    return water_optimized, fragment_response(
+        water_optimized.geometry, eri_mode="df",
+        compute_raman=False, compute_ir=True,
+    )
+
+
+def test_dmu_dr_computed(water_ir):
+    _opt, resp = water_ir
+    assert resp.dmu_dr is not None
+    assert resp.dmu_dr.shape == (9, 3)
+    # translational invariance: translating the molecule moves the
+    # dipole by q_tot * t = 0 for a neutral molecule
+    total = resp.dmu_dr.reshape(3, 3, 3).sum(axis=0)
+    # actually sum_I dmu/dR_I = charge tensor sum ~ Q_tot * I = 0
+    assert np.abs(total).max() < 0.05
+
+
+def test_water_ir_spectrum(water_ir):
+    opt, resp = water_ir
+    omega = np.linspace(500, 5000, 600)
+    sp = ir_spectrum_dense(resp.hessian, resp.dmu_dr, opt.geometry.masses,
+                           omega, sigma_cm1=20.0)
+    assert sp.intensity.max() > 0
+    # water's bend (~2170 unscaled) is IR active; check a peak there
+    sel = (omega > 2050) & (omega < 2350)
+    assert sp.intensity[sel].max() > 0.15 * sp.intensity.max()
+
+
+def test_ir_and_raman_differ(water_ir, water_optimized):
+    """IR and Raman weight modes differently (complementary selection
+    tendencies); the stick intensities must not be proportional."""
+    opt, resp_ir = water_ir
+    resp = fragment_response(opt.geometry, eri_mode="df",
+                             compute_raman=True, compute_ir=False)
+    omega = np.linspace(500, 5000, 300)
+    from repro.spectra.raman import raman_spectrum_dense
+
+    raman = raman_spectrum_dense(resp.hessian, resp.dalpha_dr,
+                                 opt.geometry.masses, omega)
+    ir = ir_spectrum_dense(resp_ir.hessian, resp_ir.dmu_dr,
+                           opt.geometry.masses, omega)
+    r = raman.activities / raman.activities.max()
+    i = ir.activities / ir.activities.max()
+    assert not np.allclose(r, i, atol=0.1)

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.spectra.lanczos import lanczos
+
+
+def _random_sym(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return (a + a.T) / 2
+
+
+def test_full_lanczos_reproduces_eigenvalues():
+    h = _random_sym(12, 1)
+    res = lanczos(h, np.ones(12), k=12)
+    t = res.tridiagonal()
+    ritz = np.sort(np.linalg.eigvalsh(t[: res.k, : res.k]))
+    exact = np.sort(np.linalg.eigvalsh(h))
+    assert np.allclose(ritz, exact, atol=1e-8)
+
+
+def test_basis_orthonormal():
+    h = _random_sym(30, 2)
+    res = lanczos(h, np.arange(1.0, 31.0), k=20, keep_basis=True)
+    q = res.q
+    assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-10)
+
+
+def test_three_term_recurrence():
+    h = _random_sym(25, 3)
+    res = lanczos(h, np.ones(25), k=15, keep_basis=True)
+    q = res.q
+    t = res.tridiagonal()
+    # H Q_k = Q_k T_k + beta_k q_{k+1} e_k^T -> residual only in last column
+    resid = h @ q - q @ t
+    assert np.abs(resid[:, :-1]).max() < 1e-8
+    assert np.linalg.norm(resid[:, -1]) == pytest.approx(res.beta[-1], abs=1e-8)
+
+
+def test_breakdown_on_invariant_subspace():
+    h = np.diag([1.0, 2.0, 3.0, 4.0])
+    # start vector spanning only two eigenvectors
+    d = np.array([1.0, 1.0, 0.0, 0.0])
+    res = lanczos(h, d, k=10)
+    assert res.breakdown
+    assert res.k == 2
+    ritz = np.linalg.eigvalsh(res.tridiagonal())
+    assert np.allclose(np.sort(ritz), [1.0, 2.0], atol=1e-10)
+
+
+def test_sparse_and_callable_inputs_agree():
+    h = _random_sym(40, 4)
+    hs = scipy.sparse.csr_matrix(h)
+    d = np.ones(40)
+    r1 = lanczos(h, d, k=10)
+    r2 = lanczos(hs, d, k=10)
+    r3 = lanczos(lambda v: h @ v, d, k=10)
+    assert np.allclose(r1.alpha, r2.alpha, atol=1e-12)
+    assert np.allclose(r1.alpha, r3.alpha, atol=1e-12)
+
+
+def test_zero_start_vector_rejected():
+    with pytest.raises(ValueError, match="zero start"):
+        lanczos(np.eye(3), np.zeros(3), k=2)
+
+
+def test_k_validated():
+    with pytest.raises(ValueError):
+        lanczos(np.eye(3), np.ones(3), k=0)
+
+
+def test_moments_match():
+    """Gauss property: sum_j w_j theta_j^m = d^T H^m d for m < 2k."""
+    from repro.spectra.gagq import quadrature_nodes_weights
+
+    h = _random_sym(20, 5)
+    d = np.arange(1.0, 21.0)
+    res = lanczos(h, d, k=5)
+    theta, w = quadrature_nodes_weights(res, averaged=False)
+    for m in range(2 * 5):
+        exact = d @ np.linalg.matrix_power(h, m) @ d
+        quad = np.sum(w * theta ** m)
+        assert quad == pytest.approx(exact, rel=1e-8)

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.constants import HESSIAN_TO_CM1
+from repro.spectra.modes import (
+    eckart_projector,
+    frequencies_from_eigenvalues,
+    mass_weighted_hessian,
+    normal_modes,
+    normal_modes_projected,
+)
+
+
+def _diatomic_hessian(k=0.5):
+    """1D spring along z embedded in 3D for two atoms."""
+    h = np.zeros((6, 6))
+    for (i, j, s) in ((2, 2, 1), (5, 5, 1), (2, 5, -1), (5, 2, -1)):
+        h[i, j] = s * k
+    return h
+
+
+def test_mass_weighting_shapes_and_values():
+    h = _diatomic_hessian()
+    masses = np.array([2.0, 8.0])
+    hm = mass_weighted_hessian(h, masses)
+    assert hm[2, 2] == pytest.approx(0.5 / 2.0)
+    assert hm[2, 5] == pytest.approx(-0.5 / 4.0)
+
+
+def test_mass_weighting_validates():
+    with pytest.raises(ValueError):
+        mass_weighted_hessian(np.zeros((5, 5)), np.ones(2))
+
+
+def test_diatomic_frequency_analytic():
+    """omega = sqrt(k/mu): reduced-mass oscillator."""
+    k = 0.37
+    m1, m2 = 1.0, 16.0
+    mu = m1 * m2 / (m1 + m2)
+    nm = normal_modes(_diatomic_hessian(k), np.array([m1, m2]))
+    expected = np.sqrt(k / mu) * HESSIAN_TO_CM1
+    assert nm.frequencies_cm1.max() == pytest.approx(expected, rel=1e-10)
+    # five zero modes (3 trans + 2 perpendicular for the 1D spring)
+    assert np.sum(np.abs(nm.frequencies_cm1) < 1e-6) == 5
+
+
+def test_frequencies_sign_convention():
+    ev = np.array([-0.01, 0.0, 0.04])
+    f = frequencies_from_eigenvalues(ev)
+    assert f[0] < 0 and f[2] > 0
+    assert abs(f[0]) == pytest.approx(np.sqrt(0.01) * HESSIAN_TO_CM1)
+
+
+def test_eckart_projector_idempotent():
+    rng = np.random.default_rng(0)
+    coords = rng.normal(size=(4, 3))
+    masses = rng.uniform(1, 16, size=4)
+    p = eckart_projector(coords, masses)
+    assert np.allclose(p @ p, p, atol=1e-10)
+    # removes exactly 6 dimensions for a nonlinear arrangement
+    assert np.trace(p) == pytest.approx(12 - 6, abs=1e-8)
+
+
+def test_eckart_projector_kills_translations():
+    rng = np.random.default_rng(1)
+    coords = rng.normal(size=(3, 3))
+    masses = np.array([1.0, 12.0, 16.0])
+    p = eckart_projector(coords, masses)
+    t = np.zeros((3, 3))
+    t[:, 0] = 1.0  # rigid x translation (mass-weighted)
+    vec = (t * np.sqrt(masses)[:, None]).ravel()
+    assert np.linalg.norm(p @ vec) < 1e-10
+
+
+def test_projected_modes_have_exact_zeros(water_optimized):
+    from repro.dfpt import fragment_response
+
+    fr = fragment_response(
+        water_optimized.geometry, eri_mode="df", compute_raman=False
+    )
+    nm = normal_modes_projected(
+        fr.hessian, water_optimized.geometry.masses,
+        water_optimized.geometry.coords,
+    )
+    zeros = np.sort(np.abs(nm.frequencies_cm1))[:6]
+    assert zeros.max() < 5.0
+
+
+def test_cartesian_mode_normalized():
+    nm = normal_modes(_diatomic_hessian(), np.array([1.0, 1.0]))
+    mode = nm.cartesian_mode(nm.nmodes - 1)
+    assert np.linalg.norm(mode) == pytest.approx(1.0)
+    assert mode.shape == (2, 3)

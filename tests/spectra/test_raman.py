@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.spectra.raman import (
+    gaussian_lineshape,
+    mass_weighted_dalpha,
+    raman_activities,
+    raman_spectrum_dense,
+    raman_spectrum_lanczos,
+)
+
+
+def test_gaussian_lineshape_normalized():
+    omega = np.linspace(-400, 400, 20001)
+    g = gaussian_lineshape(omega, 0.0, 15.0)
+    assert np.trapezoid(g, omega) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_activities_shapes_and_validation():
+    with pytest.raises(ValueError):
+        raman_activities(np.zeros((3, 2, 2)))
+    with pytest.raises(ValueError):
+        raman_activities(np.zeros((3, 3, 3)), convention="bogus")
+
+
+def test_isotropic_mode_activity():
+    """A purely isotropic d(alpha)/dQ = I: gamma' = 0, a' = 1."""
+    d = np.eye(3)[None, :, :]
+    std = raman_activities(d, "standard")
+    assert std[0] == pytest.approx(45.0)  # 45 a'^2 with a' = 1
+    paper = raman_activities(d, "paper")
+    assert paper[0] == pytest.approx(1.5 * 9 + 10.5 * 3)
+
+
+def test_anisotropic_mode_activity():
+    """Traceless diagonal tensor: a' = 0, activity = 7 gamma'^2."""
+    d = np.diag([1.0, -1.0, 0.0])[None, :, :]
+    std = raman_activities(d, "standard")
+    gamma2 = 0.5 * ((1 - (-1)) ** 2 + (-1 - 0) ** 2 + (0 - 1) ** 2)
+    assert std[0] == pytest.approx(7.0 * gamma2)
+
+
+def test_mass_weighted_dalpha():
+    d = np.ones((6, 3, 3))
+    out = mass_weighted_dalpha(d, np.array([4.0, 9.0]))
+    assert out[0, 0, 0] == pytest.approx(0.5)
+    assert out[3, 0, 0] == pytest.approx(1.0 / 3.0)
+
+
+@pytest.fixture(scope="module")
+def toy_system():
+    """Synthetic 2-atom system with a known spectrum."""
+    rng = np.random.default_rng(0)
+    n = 4
+    n3 = 3 * n
+    a = rng.normal(size=(n3, n3))
+    h = a @ a.T  # positive definite -> all real frequencies
+    masses = rng.uniform(1.0, 16.0, size=n)
+    dalpha = rng.normal(size=(n3, 3, 3))
+    dalpha = dalpha + dalpha.transpose(0, 2, 1)
+    return h, dalpha, masses
+
+
+@pytest.mark.parametrize("convention", ["standard", "paper"])
+def test_lanczos_matches_dense(toy_system, convention):
+    h, dalpha, masses = toy_system
+    omega = np.linspace(0, 8000, 500)
+    dense = raman_spectrum_dense(
+        h, dalpha, masses, omega, sigma_cm1=40.0, convention=convention,
+        freq_threshold_cm1=50.0,
+    )
+    lan = raman_spectrum_lanczos(
+        h, dalpha, masses, omega, sigma_cm1=40.0, k=12,
+        convention=convention, freq_threshold_cm1=50.0,
+    )
+    scale = dense.intensity.max()
+    assert scale > 0
+    assert np.abs(dense.intensity - lan.intensity).max() / scale < 1e-8
+
+
+def test_gagq_improves_truncated_k(toy_system):
+    h, dalpha, masses = toy_system
+    omega = np.linspace(0, 8000, 300)
+    dense = raman_spectrum_dense(h, dalpha, masses, omega, sigma_cm1=60.0)
+    errs = {}
+    for avg in (False, True):
+        lan = raman_spectrum_lanczos(
+            h, dalpha, masses, omega, sigma_cm1=60.0, k=4, averaged=avg
+        )
+        errs[avg] = np.abs(dense.intensity - lan.intensity).max()
+    assert errs[True] <= errs[False] * 1.05
+
+
+def test_normalized_spectrum():
+    omega = np.linspace(0, 100, 50)
+    from repro.spectra.raman import RamanSpectrum
+
+    sp = RamanSpectrum(omega, np.linspace(0, 4.0, 50)).normalized()
+    assert sp.intensity.max() == pytest.approx(1.0)
+
+
+def test_spectrum_nonnegative(toy_system):
+    h, dalpha, masses = toy_system
+    omega = np.linspace(0, 8000, 200)
+    sp = raman_spectrum_dense(h, dalpha, masses, omega, sigma_cm1=30.0)
+    assert sp.intensity.min() >= 0.0
+
+
+def test_depolarization_isotropic_mode():
+    from repro.spectra.raman import depolarization_ratios
+
+    d = np.eye(3)[None, :, :]
+    assert depolarization_ratios(d)[0] == pytest.approx(0.0)
+
+
+def test_depolarization_anisotropic_mode():
+    from repro.spectra.raman import depolarization_ratios
+
+    d = np.diag([1.0, -1.0, 0.0])[None, :, :]  # traceless
+    assert depolarization_ratios(d)[0] == pytest.approx(0.75)
+
+
+def test_depolarization_bounds():
+    from repro.spectra.raman import depolarization_ratios
+
+    rng = np.random.default_rng(3)
+    d = rng.normal(size=(20, 3, 3))
+    d = d + d.transpose(0, 2, 1)
+    rho = depolarization_ratios(d)
+    assert np.all(rho >= 0.0) and np.all(rho <= 0.75 + 1e-12)

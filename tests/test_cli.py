@@ -1,0 +1,30 @@
+import pytest
+
+from repro.cli import main
+
+
+def test_simulate_command(capsys):
+    rc = main(["simulate", "--machine", "ORISE", "--nodes", "100", "200"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ORISE" in out
+    assert "frag/s" in out
+    assert "eff" in out
+
+
+def test_counts_command_small(capsys):
+    rc = main(["counts", "--residues", "60"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fragments" in out
+    assert "water_water_pairs" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_subcommand():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,50 @@
+import math
+
+import pytest
+
+from repro import constants as C
+
+
+def test_bohr_angstrom_roundtrip():
+    assert C.BOHR_TO_ANGSTROM * C.ANGSTROM_TO_BOHR == pytest.approx(1.0)
+
+
+def test_hartree_conversions():
+    assert C.HARTREE_TO_EV == pytest.approx(27.2114, abs=1e-3)
+    assert C.HARTREE_TO_CM1 == pytest.approx(219474.6, abs=0.5)
+    assert C.HARTREE_TO_KCALMOL == pytest.approx(627.509, abs=1e-2)
+
+
+def test_hessian_to_cm1_consistency():
+    # HESSIAN_TO_CM1 must equal HARTREE_TO_CM1 / sqrt(AMU_TO_AU)
+    assert C.HESSIAN_TO_CM1 == pytest.approx(
+        C.HARTREE_TO_CM1 / math.sqrt(C.AMU_TO_AU)
+    )
+
+
+def test_element_tables_aligned():
+    for symbol, z in C.ELEMENT_NUMBERS.items():
+        assert C.ELEMENT_SYMBOLS[z] == symbol
+    for symbol in ("H", "C", "N", "O", "S"):
+        assert symbol in C.ATOMIC_MASSES
+        assert symbol in C.COVALENT_RADII
+
+
+def test_mass_of_known():
+    assert C.mass_of("C") == pytest.approx(12.0)
+    assert C.mass_of("H") == pytest.approx(1.00783, abs=1e-4)
+
+
+def test_mass_of_unknown_raises():
+    with pytest.raises(KeyError, match="no tabulated mass"):
+        C.mass_of("Xx")
+
+
+def test_number_of_unknown_raises():
+    with pytest.raises(KeyError, match="unknown element"):
+        C.number_of("Qq")
+
+
+def test_water_mass_sum():
+    total = C.mass_of("O") + 2 * C.mass_of("H")
+    assert total == pytest.approx(18.0106, abs=1e-3)
