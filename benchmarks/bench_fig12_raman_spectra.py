@@ -20,6 +20,8 @@ Runtime note: this is the only benchmark doing real QM displacement
 loops (~2,500 SCF+gradient+CPHF solves on one core); expect minutes.
 """
 
+import os
+
 import numpy as np
 
 from repro.analysis import PROTEIN_BANDS, WATER_BANDS, band_assignment, find_peaks
@@ -36,6 +38,15 @@ SCALE = RHF_STO3G_FREQUENCY_SCALE
 # responses cache here so repeated benchmark runs (and the final
 # recorded run) reuse the QM displacement loops
 CACHE_DIR = ".qf_cache_bench"
+
+# execution backend is env-driven so the same benchmark can be timed
+# serial or parallel: QF_EXECUTOR=process QF_WORKERS=4 pytest ...
+EXECUTOR = os.environ.get("QF_EXECUTOR", "serial")
+WORKERS = int(os.environ["QF_WORKERS"]) if "QF_WORKERS" in os.environ else None
+
+
+def make_pipeline(**kwargs):
+    return QFRamanPipeline(executor=EXECUTOR, max_workers=WORKERS, **kwargs)
 
 
 def _band_report(tag, spectrum, bands):
@@ -55,8 +66,8 @@ def test_fig12a_gas_phase_peptide(benchmark):
         geom, residues = build_polypeptide(["GLY"])
         opt = optimize_geometry(geom, eri_mode="df")
         assert opt.converged
-        pipe = QFRamanPipeline(protein=opt.geometry, residues=residues,
-                               cache_dir=CACHE_DIR)
+        pipe = make_pipeline(protein=opt.geometry, residues=residues,
+                             cache_dir=CACHE_DIR)
         return pipe.run(omega_cm1=OMEGA, sigma_cm1=5.0, solver="dense"), opt
 
     result, _opt = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -78,8 +89,8 @@ def test_fig12a_gas_phase_peptide(benchmark):
 def test_fig12b_water_box(benchmark):
     def run():
         waters = water_box(4, seed=3)
-        pipe = QFRamanPipeline(waters=waters, relax_waters=True,
-                               cache_dir=CACHE_DIR)
+        pipe = make_pipeline(waters=waters, relax_waters=True,
+                             cache_dir=CACHE_DIR)
         return pipe.run(omega_cm1=OMEGA, sigma_cm1=20.0, solver="lanczos",
                         lanczos_k=80)
 
@@ -107,9 +118,9 @@ def test_fig12c_peptide_in_water(benchmark):
         waters = solvate(opt.geometry, margin=3.0, clash_distance=2.4, seed=1)
         assert len(waters) >= 3, "solvation shell unexpectedly empty"
         waters = waters[:3]
-        pipe = QFRamanPipeline(protein=opt.geometry, residues=residues,
-                               waters=waters, relax_waters=True,
-                               cache_dir=CACHE_DIR)
+        pipe = make_pipeline(protein=opt.geometry, residues=residues,
+                             waters=waters, relax_waters=True,
+                             cache_dir=CACHE_DIR)
         return pipe.run(omega_cm1=OMEGA, sigma_cm1=20.0, solver="dense")
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

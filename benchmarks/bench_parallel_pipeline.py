@@ -1,0 +1,101 @@
+"""Parallel fragment execution: serial vs process-pool throughput.
+
+Times the same >= 8-fragment workload (a box of rigid water copies —
+dedupe is bypassed so every fragment is a genuine QM run) through the
+``serial`` and ``process`` executor backends and records wall-clock,
+speedup, fragments/s, and worker utilization. Per-fragment responses
+must agree to 1e-10 — parallelism may never change the numbers.
+
+The recorded JSON includes ``cpu_count``: the measured speedup is only
+meaningful relative to the cores actually available (on a single-core
+container the process pool pays IPC overhead for no gain).
+
+Run standalone:  python benchmarks/bench_parallel_pipeline.py
+Under pytest:    pytest benchmarks/bench_parallel_pipeline.py -m slow
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from conftest import save_result  # noqa: E402
+
+WORKERS = 4
+N_FRAGMENTS = 8
+ATOL = 1e-10
+
+
+def _workload():
+    from repro.geometry import water_box
+    from repro.pipeline.executor import FragmentTask
+
+    waters = water_box(N_FRAGMENTS, seed=3)
+    return [
+        FragmentTask(index=k, label=f"water-{k}", geometry=w,
+                     compute_raman=False, eri_mode="exact")
+        for k, w in enumerate(waters)
+    ]
+
+
+def run_comparison() -> dict:
+    from repro.pipeline.executor import make_executor
+
+    tasks = _workload()
+    runs = {}
+    for backend in ("serial", "process"):
+        with make_executor(backend, max_workers=WORKERS) as ex:
+            t0 = time.perf_counter()
+            responses, report = ex.run(tasks)
+            wall = time.perf_counter() - t0
+        runs[backend] = (responses, report, wall)
+        print(f"  {report.summary()}")
+
+    ser, ser_report, ser_wall = runs["serial"]
+    par, par_report, par_wall = runs["process"]
+    max_dev = max(
+        float(np.abs(par[k].hessian - ser[k].hessian).max())
+        for k in range(len(tasks))
+    )
+    speedup = ser_wall / par_wall
+    payload = {
+        "n_fragments": len(tasks),
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": ser_wall,
+        "process_wall_s": par_wall,
+        "speedup": speedup,
+        "serial_fragments_per_s": ser_report.fragments_per_s,
+        "process_fragments_per_s": par_report.fragments_per_s,
+        "process_worker_utilization": par_report.worker_utilization,
+        "max_hessian_deviation": max_dev,
+        "serial_report": ser_report.as_dict(),
+        "process_report": par_report.as_dict(),
+    }
+    print(f"  speedup x{speedup:.2f} on {os.cpu_count()} cores "
+          f"(max |dH| = {max_dev:.2e})")
+    # both names: bench_* matches the other benchmark outputs, BENCH_*
+    # is the recorded artifact referenced by EXPERIMENTS.md/ISSUE
+    save_result("bench_parallel_pipeline", payload)
+    save_result("BENCH_parallel_pipeline", payload)
+    return payload
+
+
+@pytest.mark.slow
+def test_parallel_pipeline_benchmark():
+    payload = run_comparison()
+    assert payload["max_hessian_deviation"] <= ATOL
+    assert payload["serial_fragments_per_s"] > 0
+    assert payload["process_fragments_per_s"] > 0
+    # the >= 2x target needs real cores; on a 1-core container the
+    # pool can only add overhead, so gate on the hardware
+    if (os.cpu_count() or 1) >= WORKERS:
+        assert payload["speedup"] >= 2.0
+
+
+if __name__ == "__main__":
+    run_comparison()

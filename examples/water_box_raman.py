@@ -6,8 +6,10 @@ DFPT displacement loop for every *unique* piece (identical monomers are
 reused by rigid rotation), assembles the global Hessian/Raman tensor
 per Eq. (1), and solves the spectrum with the Lanczos+GAGQ solver.
 
-Run:  python examples/water_box_raman.py [n_waters]
-      (default 4; ~4 min on one core — two-body pieces dominate)
+Run:  python examples/water_box_raman.py [n_waters] [workers]
+      (default 4 waters; ~4 min on one core — two-body pieces dominate.
+      Pass workers > 1 to run fragments in parallel processes, e.g.
+      ``python examples/water_box_raman.py 4 4``.)
 """
 
 import sys
@@ -20,9 +22,13 @@ from repro.analysis import WATER_BANDS, band_assignment
 from repro.analysis.reference import RHF_STO3G_FREQUENCY_SCALE
 
 
-def main(n_waters: int = 4) -> None:
+def main(n_waters: int = 4, workers: int | None = None) -> None:
     waters = water_box(n_waters, seed=3)
-    pipe = QFRamanPipeline(waters=waters, relax_waters=True, verbose=True)
+    pipe = QFRamanPipeline(
+        waters=waters, relax_waters=True, verbose=True,
+        executor="process" if workers and workers > 1 else "serial",
+        max_workers=workers,
+    )
 
     omega = np.linspace(200, 5200, 1000)
     t0 = time.time()
@@ -31,6 +37,8 @@ def main(n_waters: int = 4) -> None:
     print(f"\npipeline finished in {time.time() - t0:.0f}s")
     print(f"pieces: {result.decomposition.counts} "
           f"(unique QM runs: {result.unique_pieces})")
+    if result.throughput is not None:
+        print(result.throughput.summary())
 
     spectrum = result.spectrum.normalized()
     assignment = band_assignment(
@@ -54,4 +62,5 @@ def main(n_waters: int = 4) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4,
+         int(sys.argv[2]) if len(sys.argv) > 2 else None)

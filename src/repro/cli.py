@@ -26,6 +26,7 @@ def _cmd_water_raman(args) -> int:
     pipe = QFRamanPipeline(
         waters=water_box(args.n, seed=args.seed), relax_waters=True,
         verbose=args.verbose,
+        executor=args.executor, max_workers=args.workers,
     )
     omega = np.linspace(200, 5200, 1000)
     result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
@@ -33,6 +34,8 @@ def _cmd_water_raman(args) -> int:
     sp = result.spectrum.normalized()
     print(f"pieces: {result.decomposition.counts} "
           f"(unique: {result.unique_pieces})")
+    if result.throughput is not None:
+        print(result.throughput.summary())
     for name, info in band_assignment(
         sp.omega_cm1, sp.intensity, WATER_BANDS,
         frequency_scale=RHF_STO3G_FREQUENCY_SCALE,
@@ -57,11 +60,14 @@ def _cmd_peptide_raman(args) -> int:
     geom, residues = build_polypeptide(args.sequence)
     opt = optimize_geometry(geom, eri_mode="df")
     pipe = QFRamanPipeline(protein=opt.geometry, residues=residues,
-                           verbose=args.verbose)
+                           verbose=args.verbose,
+                           executor=args.executor, max_workers=args.workers)
     omega = np.linspace(200, 5200, 1200)
     result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
                       solver=args.solver)
     sp = result.spectrum.normalized()
+    if result.throughput is not None:
+        print(result.throughput.summary())
     for name, info in band_assignment(
         sp.omega_cm1, sp.intensity, PROTEIN_BANDS,
         frequency_scale=RHF_STO3G_FREQUENCY_SCALE,
@@ -127,6 +133,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_executor_args(p):
+        p.add_argument(
+            "--executor", choices=("serial", "process", "displacement"),
+            default="serial",
+            help="fragment execution backend (see repro.pipeline.executor)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes for parallel backends (default: cpu count)",
+        )
+
     p = sub.add_parser("water-raman", help="Raman spectrum of a water box")
     p.add_argument("--n", type=int, default=4)
     p.add_argument("--seed", type=int, default=3)
@@ -134,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--solver", choices=("dense", "lanczos"), default="lanczos")
     p.add_argument("--out", default=None)
     p.add_argument("--verbose", action="store_true")
+    add_executor_args(p)
     p.set_defaults(fn=_cmd_water_raman)
 
     p = sub.add_parser("peptide-raman", help="gas-phase peptide Raman spectrum")
@@ -142,6 +160,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--solver", choices=("dense", "lanczos"), default="dense")
     p.add_argument("--out", default=None)
     p.add_argument("--verbose", action="store_true")
+    add_executor_args(p)
     p.set_defaults(fn=_cmd_peptide_raman)
 
     p = sub.add_parser("simulate", help="scheduler simulation on a machine")

@@ -248,6 +248,27 @@ class PairBlock:
             for d in range(3)
         ]
 
+    def subset(self, idx: np.ndarray) -> "PairBlock":
+        """View of this block restricted to the pairs in ``idx``.
+
+        Used by Schwarz screening to evaluate only surviving pairs.
+        """
+        k2 = self.k2
+
+        def prim(arr: np.ndarray) -> np.ndarray:
+            shaped = arr.reshape(self.npair, k2, *arr.shape[1:])
+            return shaped[idx].reshape(idx.size * k2, *arr.shape[1:])
+
+        return PairBlock(
+            la=self.la, lb=self.lb, k2=k2,
+            ishell=self.ishell[idx], jshell=self.jshell[idx],
+            off_a=self.off_a[idx], off_b=self.off_b[idx],
+            atom_a=self.atom_a[idx], atom_b=self.atom_b[idx],
+            a=prim(self.a), b=prim(self.b), cc=prim(self.cc),
+            ab_vec=self.ab_vec[idx], centers_a=self.centers_a[idx],
+            p=prim(self.p), pc=prim(self.pc),
+        )
+
 
 def build_pair_blocks(
     shells: list[Shell],
@@ -380,14 +401,105 @@ class IntegralEngine:
         The orbital basis.
     charges, coords:
         Nuclear charges and positions (bohr) for nuclear attraction.
+    schwarz_cutoff:
+        Schwarz screening threshold for two-electron integrals. A
+        (bra-pair, ket-pair) combination is skipped when the bound
+        ``sqrt((ab|ab)) * sqrt((cd|cd))`` — a rigorous Cauchy–Schwarz
+        upper bound on every |(ab|cd)| in the combination — falls below
+        this value; skipped entries are exact zeros in the output, so
+        the absolute ERI error per element is at most the cutoff.
+        ``0`` disables screening (every combination evaluated).
+        Counters in :attr:`screen_stats` record evaluated vs skipped
+        pair combinations.
     """
 
-    def __init__(self, basis: BasisSet, charges: np.ndarray, coords: np.ndarray):
+    def __init__(self, basis: BasisSet, charges: np.ndarray, coords: np.ndarray,
+                 schwarz_cutoff: float = 0.0):
         self.basis = basis
         self.charges = np.asarray(charges, dtype=float).ravel()
         self.coords = np.asarray(coords, dtype=float).reshape(-1, 3)
         self.nbf = basis.nbf
         self.blocks = build_pair_blocks(basis.shells, basis.offsets)
+        self.schwarz_cutoff = float(schwarz_cutoff)
+        #: pair-combination counters: "evaluated" + "screened" = "total"
+        self.screen_stats = {
+            "pair_combinations_total": 0,
+            "pair_combinations_evaluated": 0,
+            "pair_combinations_screened": 0,
+        }
+        self._schwarz_self: list[np.ndarray] | None = None
+
+    # -- Schwarz screening ---------------------------------------------------
+
+    def schwarz_bounds(self, blocks: list[PairBlock]) -> list[np.ndarray]:
+        """Per-block Schwarz bound vectors ``Q_r = sqrt(max (ab|ab)_r)``.
+
+        One entry per shell pair of each block: the maximum over the
+        pair's function components of the diagonal Coulomb interaction
+        — the quantity whose product bounds any cross interaction.
+        """
+        return [self._schwarz_block(blk) for blk in blocks]
+
+    def _bounds_self(self) -> list[np.ndarray]:
+        """Cached Schwarz bounds of the engine's own pair blocks."""
+        if self._schwarz_self is None:
+            self._schwarz_self = self.schwarz_bounds(self.blocks)
+        return self._schwarz_self
+
+    def _schwarz_block(self, blk: PairBlock,
+                       element_budget: int = 200_000) -> np.ndarray:
+        """Diagonal (ab|ab) bound vector of one pair block, vectorized.
+
+        For every pair the k2 x k2 primitive cross products within the
+        same pair are contracted — the diagonal of
+        :meth:`coulomb_block` without the O(npair^2) off-diagonals.
+        """
+        la, lb = blk.la, blk.lb
+        l_half = la + lb
+        combos = hermite_combos(l_half, l_half, l_half, l_half)
+        nk = len(combos)
+        e3b = _e3_components(blk.e_tensors(), la, lb, combos, weights=blk.cc)
+        e3k = _e3_components(
+            blk.e_tensors(), la, lb, combos, sign=True, weights=blk.cc
+        )
+        npair, k2 = blk.npair, blk.k2
+        nab = e3b.shape[1]
+        e3b = e3b.reshape(npair, k2, nab, nk)
+        e3k = e3k.reshape(npair, k2, nab, nk)
+        p = blk.p.reshape(npair, k2)
+        pc = blk.pc.reshape(npair, k2, 3)
+        ltot = 2 * l_half
+        ti = np.empty((nk, nk), dtype=int)
+        ui = np.empty_like(ti)
+        vi = np.empty_like(ti)
+        for i, (t, u, v) in enumerate(combos):
+            for j, (tt, uu, vv) in enumerate(combos):
+                ti[i, j] = min(t + tt, ltot)
+                ui[i, j] = min(u + uu, ltot)
+                vi[i, j] = min(v + vv, ltot)
+        out = np.empty(npair)
+        chunk = max(1, element_budget // max(1, k2 * k2 * nk))
+        for start in range(0, npair, chunk):
+            stop = min(start + chunk, npair)
+            ps = p[start:stop]
+            pcs = pc[start:stop]
+            pb = ps[:, :, None]
+            pk = ps[:, None, :]
+            alpha = pb * pk / (pb + pk)
+            pref = 2.0 * math.pi ** 2.5 / (pb * pk * np.sqrt(pb + pk))
+            pq = pcs[:, :, None, :] - pcs[:, None, :, :]
+            r = hermite_coulomb_vec(
+                ltot, ltot, ltot, alpha.ravel(), pq.reshape(-1, 3)
+            ).reshape(stop - start, k2, k2, ltot + 1, ltot + 1, ltot + 1)
+            rsel = r[:, :, :, ti, ui, vi]            # (n, k2, k2, nk, nk)
+            rsel *= pref[..., None, None]
+            vals = np.einsum(
+                "rixm,rijmn,rjyn->rxy",
+                e3b[start:stop], rsel, e3k[start:stop], optimize=True,
+            )
+            diag = np.einsum("rxx->rx", vals)
+            out[start:stop] = diag.max(axis=1)
+        return np.sqrt(np.maximum(out, 0.0))
 
     # -- one-electron -------------------------------------------------------
 
@@ -539,20 +651,49 @@ class IntegralEngine:
 
     # -- two-electron: generic Coulomb interaction of two pair sets ---------
 
-    def coulomb_block(self, bra: PairBlock, ket: PairBlock) -> np.ndarray:
+    def coulomb_block(self, bra: PairBlock, ket: PairBlock,
+                      q_bra: np.ndarray | None = None,
+                      q_ket: np.ndarray | None = None) -> np.ndarray:
         """Contracted Coulomb interaction (bra_ab | ket_cd).
 
         Returns shape ``(npair_bra, na, nb, npair_ket, nc, nd)``.
         Used both for the exact ERI (bra and ket are orbital pair
         blocks) and for density fitting (ket pairs are aux/dummy).
+
+        When Schwarz bound vectors ``q_bra``/``q_ket`` (from
+        :meth:`schwarz_bounds`) are supplied and
+        :attr:`schwarz_cutoff` is positive, pairs whose best possible
+        bound product stays below the cutoff are skipped; their output
+        entries are exact zeros bounded by the cutoff.
         """
+        na, nb_ = len(components(bra.la)), len(components(bra.lb))
+        nc, nd = len(components(ket.la)), len(components(ket.lb))
+        cut = self.schwarz_cutoff
+        if cut > 0.0 and q_bra is not None and q_ket is not None:
+            stats = self.screen_stats
+            stats["pair_combinations_total"] += bra.npair * ket.npair
+            keep_b = np.nonzero(q_bra * q_ket.max(initial=0.0) >= cut)[0]
+            keep_k = np.nonzero(q_ket * q_bra.max(initial=0.0) >= cut)[0]
+            n_eval = keep_b.size * keep_k.size
+            stats["pair_combinations_evaluated"] += n_eval
+            stats["pair_combinations_screened"] += (
+                bra.npair * ket.npair - n_eval
+            )
+            if n_eval == 0:
+                return np.zeros((bra.npair, na, nb_, ket.npair, nc, nd))
+            if keep_b.size < bra.npair or keep_k.size < ket.npair:
+                # recursive call without bounds: evaluates the survivors
+                # and touches no counters
+                sub = self.coulomb_block(bra.subset(keep_b),
+                                         ket.subset(keep_k))
+                out = np.zeros((bra.npair, na, nb_, ket.npair, nc, nd))
+                out[np.ix_(keep_b, np.arange(na), np.arange(nb_), keep_k)] = sub
+                return out
         la, lb = bra.la, bra.lb
         lbra = la + lb
         combos_b = hermite_combos(lbra, lbra, lbra, lbra)
         e3b = _e3_components(bra.e_tensors(), la, lb, combos_b, weights=bra.cc)
         out = self._coulomb_core(bra, ket, e3b[None, :, :, :], combos_b, lbra)[0]
-        na, nb_ = len(components(la)), len(components(lb))
-        nc, nd = len(components(ket.la)), len(components(ket.lb))
         return out.reshape(bra.npair, na, nb_, ket.npair, nc, nd)
 
     def coulomb_block_deriv(self, bra: PairBlock, ket: PairBlock) -> np.ndarray:
@@ -640,15 +781,22 @@ class IntegralEngine:
         """Exact ERI tensor (chemists' notation (ab|cd)), full nbf^4.
 
         Intended for small systems (tests, tiny fragments); production
-        fragment SCF uses density fitting.
+        fragment SCF uses density fitting. With a positive
+        :attr:`schwarz_cutoff`, shell-pair combinations bounded below
+        the cutoff are skipped (their entries are exact zeros).
         """
         nbf = self.nbf
         out = np.zeros((nbf, nbf, nbf, nbf))
+        bounds = (
+            self._bounds_self() if self.schwarz_cutoff > 0.0
+            else [None] * len(self.blocks)
+        )
         for bi, bra in enumerate(self.blocks):
             for ki, ket in enumerate(self.blocks):
                 if ki < bi:
                     continue
-                vals = self.coulomb_block(bra, ket)
+                vals = self.coulomb_block(bra, ket, q_bra=bounds[bi],
+                                          q_ket=bounds[ki])
                 self._scatter_eri(out, bra, ket, vals)
         return out
 

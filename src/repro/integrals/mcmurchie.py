@@ -15,7 +15,6 @@ Helgaker, Jørgensen, Olsen, "Molecular Electronic-Structure Theory".
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 
 import numpy as np
 from scipy.special import gammainc, gamma as gamma_fn
@@ -39,69 +38,112 @@ def boys(n: int, t: float) -> float:
 # Hermite expansion coefficients
 # ---------------------------------------------------------------------------
 
-@lru_cache(maxsize=None)
-def _e_cached(i: int, j: int, t: int, qx: float, a: float, b: float) -> float:
-    p = a + b
-    q = a * b / p
+def _e_memo(i: int, j: int, t: int, qx: float, a: float, b: float,
+            memo: dict) -> float:
+    # memo keys on (i, j, t) only — (qx, a, b) are fixed per evaluation,
+    # so the dict lives exactly as long as one primitive integral and
+    # never accumulates float-keyed entries across geometries (the old
+    # module-wide lru_cache had near-zero hit rates across geometries
+    # but grew without bound over a long pipeline run)
     if t < 0 or t > i + j:
         return 0.0
+    key = (i, j, t)
+    val = memo.get(key)
+    if val is not None:
+        return val
+    p = a + b
+    q = a * b / p
     if i == j == t == 0:
-        return math.exp(-q * qx * qx)
-    if j == 0:
-        return (
-            _e_cached(i - 1, j, t - 1, qx, a, b) / (2 * p)
-            - q * qx / a * _e_cached(i - 1, j, t, qx, a, b)
-            + (t + 1) * _e_cached(i - 1, j, t + 1, qx, a, b)
+        val = math.exp(-q * qx * qx)
+    elif j == 0:
+        val = (
+            _e_memo(i - 1, j, t - 1, qx, a, b, memo) / (2 * p)
+            - q * qx / a * _e_memo(i - 1, j, t, qx, a, b, memo)
+            + (t + 1) * _e_memo(i - 1, j, t + 1, qx, a, b, memo)
         )
-    return (
-        _e_cached(i, j - 1, t - 1, qx, a, b) / (2 * p)
-        + q * qx / b * _e_cached(i, j - 1, t, qx, a, b)
-        + (t + 1) * _e_cached(i, j - 1, t + 1, qx, a, b)
-    )
+    else:
+        val = (
+            _e_memo(i, j - 1, t - 1, qx, a, b, memo) / (2 * p)
+            + q * qx / b * _e_memo(i, j - 1, t, qx, a, b, memo)
+            + (t + 1) * _e_memo(i, j - 1, t + 1, qx, a, b, memo)
+        )
+    memo[key] = val
+    return val
 
 
-def hermite_e(i: int, j: int, t: int, qx: float, a: float, b: float) -> float:
+def _e_cached(i: int, j: int, t: int, qx: float, a: float, b: float) -> float:
+    """Single E coefficient with a fresh per-call memo (compat shim)."""
+    return _e_memo(i, j, t, qx, a, b, {})
+
+
+def hermite_e(i: int, j: int, t: int, qx: float, a: float, b: float,
+              memo: dict | None = None) -> float:
     """Hermite expansion coefficient E_t^{ij} for a 1D Gaussian product.
 
     ``qx`` is the center separation A_x - B_x, ``a``/``b`` the exponents.
+    ``memo`` (optional) shares recursion work across calls with the
+    same (qx, a, b) — callers evaluating many t values pass one dict.
     """
-    return _e_cached(i, j, t, qx, a, b)
+    return _e_memo(i, j, t, qx, a, b, {} if memo is None else memo)
 
 
 # ---------------------------------------------------------------------------
 # Hermite Coulomb tensor
 # ---------------------------------------------------------------------------
 
-@lru_cache(maxsize=None)
-def _r_cached(t: int, u: int, v: int, n: int, p: float,
-              x: float, y: float, z: float) -> float:
+def _r_memo(t: int, u: int, v: int, n: int, p: float,
+            x: float, y: float, z: float, memo: dict) -> float:
+    # memo keys on (t, u, v, n) only — (p, x, y, z) are fixed per
+    # evaluation (same bounded-lifetime scheme as _e_memo)
     if t < 0 or u < 0 or v < 0:
         return 0.0
+    key = (t, u, v, n)
+    val = memo.get(key)
+    if val is not None:
+        return val
     if t == u == v == 0:
         r2 = x * x + y * y + z * z
-        return (-2.0 * p) ** n * boys(n, p * r2)
-    if t > 0:
-        return (t - 1) * _r_cached(t - 2, u, v, n + 1, p, x, y, z) + x * _r_cached(
-            t - 1, u, v, n + 1, p, x, y, z
+        val = (-2.0 * p) ** n * boys(n, p * r2)
+    elif t > 0:
+        val = (t - 1) * _r_memo(t - 2, u, v, n + 1, p, x, y, z, memo) + x * _r_memo(
+            t - 1, u, v, n + 1, p, x, y, z, memo
         )
-    if u > 0:
-        return (u - 1) * _r_cached(t, u - 2, v, n + 1, p, x, y, z) + y * _r_cached(
-            t, u - 1, v, n + 1, p, x, y, z
+    elif u > 0:
+        val = (u - 1) * _r_memo(t, u - 2, v, n + 1, p, x, y, z, memo) + y * _r_memo(
+            t, u - 1, v, n + 1, p, x, y, z, memo
         )
-    return (v - 1) * _r_cached(t, u, v - 2, n + 1, p, x, y, z) + z * _r_cached(
-        t, u, v - 1, n + 1, p, x, y, z
-    )
+    else:
+        val = (v - 1) * _r_memo(t, u, v - 2, n + 1, p, x, y, z, memo) + z * _r_memo(
+            t, u, v - 1, n + 1, p, x, y, z, memo
+        )
+    memo[key] = val
+    return val
 
 
-def hermite_r(t: int, u: int, v: int, p: float, pq: np.ndarray) -> float:
-    """Hermite Coulomb auxiliary R_{tuv}^{0}(p, PQ)."""
-    return _r_cached(t, u, v, 0, p, float(pq[0]), float(pq[1]), float(pq[2]))
+def _r_cached(t: int, u: int, v: int, n: int, p: float,
+              x: float, y: float, z: float) -> float:
+    """Single R entry with a fresh per-call memo (compat shim)."""
+    return _r_memo(t, u, v, n, p, x, y, z, {})
+
+
+def hermite_r(t: int, u: int, v: int, p: float, pq: np.ndarray,
+              memo: dict | None = None) -> float:
+    """Hermite Coulomb auxiliary R_{tuv}^{0}(p, PQ).
+
+    ``memo`` (optional) shares the downward recursion across calls with
+    the same (p, PQ) — callers sweeping t/u/v pass one dict.
+    """
+    return _r_memo(t, u, v, 0, p, float(pq[0]), float(pq[1]), float(pq[2]),
+                   {} if memo is None else memo)
 
 
 def clear_caches() -> None:
-    """Drop the memoization caches (they key on floats and can grow)."""
-    _e_cached.cache_clear()
-    _r_cached.cache_clear()
+    """Compatibility no-op.
+
+    Memoization is now scoped to a single primitive-integral evaluation
+    (plain dicts keyed on small integer indices), so nothing persists at
+    module level and there is no cache left to clear.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -139,21 +181,23 @@ def nuclear_prim(a, lmn1, ra, b, lmn2, rb, rc) -> float:
     p = a + b
     cp = (a * np.asarray(ra) + b * np.asarray(rb)) / p
     pc = cp - np.asarray(rc)
+    ex_memo, ey_memo, ez_memo, r_memo = {}, {}, {}, {}
+    px, py, pz = float(pc[0]), float(pc[1]), float(pc[2])
     out = 0.0
     for t in range(lmn1[0] + lmn2[0] + 1):
-        ex = hermite_e(lmn1[0], lmn2[0], t, ra[0] - rb[0], a, b)
+        ex = _e_memo(lmn1[0], lmn2[0], t, ra[0] - rb[0], a, b, ex_memo)
         if ex == 0.0:
             continue
         for u in range(lmn1[1] + lmn2[1] + 1):
-            ey = hermite_e(lmn1[1], lmn2[1], u, ra[1] - rb[1], a, b)
+            ey = _e_memo(lmn1[1], lmn2[1], u, ra[1] - rb[1], a, b, ey_memo)
             if ey == 0.0:
                 continue
             for v in range(lmn1[2] + lmn2[2] + 1):
-                ez = hermite_e(lmn1[2], lmn2[2], v, ra[2] - rb[2], a, b)
+                ez = _e_memo(lmn1[2], lmn2[2], v, ra[2] - rb[2], a, b, ez_memo)
                 if ez == 0.0:
                     continue
-                out += ex * ey * ez * _r_cached(
-                    t, u, v, 0, p, float(pc[0]), float(pc[1]), float(pc[2])
+                out += ex * ey * ez * _r_memo(
+                    t, u, v, 0, p, px, py, pz, r_memo
                 )
     return 2.0 * math.pi / p * out
 
@@ -166,39 +210,45 @@ def eri_prim(a, lmn1, ra, b, lmn2, rb, c, lmn3, rc, d, lmn4, rd) -> float:
     rp = (a * np.asarray(ra) + b * np.asarray(rb)) / p
     rq = (c * np.asarray(rc) + d * np.asarray(rd)) / q
     pq = rp - rq
+    # one memo per 1D E series and one for the shared R recursion: all
+    # calls below share (exponents, separations), so keys are pure ints
+    e1m = ({}, {}, {})
+    e2m = ({}, {}, {})
+    r_memo: dict = {}
+    qx, qy, qz = float(pq[0]), float(pq[1]), float(pq[2])
     out = 0.0
     for t in range(lmn1[0] + lmn2[0] + 1):
-        e1x = hermite_e(lmn1[0], lmn2[0], t, ra[0] - rb[0], a, b)
+        e1x = _e_memo(lmn1[0], lmn2[0], t, ra[0] - rb[0], a, b, e1m[0])
         if e1x == 0.0:
             continue
         for u in range(lmn1[1] + lmn2[1] + 1):
-            e1y = hermite_e(lmn1[1], lmn2[1], u, ra[1] - rb[1], a, b)
+            e1y = _e_memo(lmn1[1], lmn2[1], u, ra[1] - rb[1], a, b, e1m[1])
             if e1y == 0.0:
                 continue
             for v in range(lmn1[2] + lmn2[2] + 1):
-                e1z = hermite_e(lmn1[2], lmn2[2], v, ra[2] - rb[2], a, b)
+                e1z = _e_memo(lmn1[2], lmn2[2], v, ra[2] - rb[2], a, b, e1m[2])
                 if e1z == 0.0:
                     continue
                 for tt in range(lmn3[0] + lmn4[0] + 1):
-                    e2x = hermite_e(lmn3[0], lmn4[0], tt, rc[0] - rd[0], c, d)
+                    e2x = _e_memo(lmn3[0], lmn4[0], tt, rc[0] - rd[0], c, d, e2m[0])
                     if e2x == 0.0:
                         continue
                     for uu in range(lmn3[1] + lmn4[1] + 1):
-                        e2y = hermite_e(lmn3[1], lmn4[1], uu, rc[1] - rd[1], c, d)
+                        e2y = _e_memo(lmn3[1], lmn4[1], uu, rc[1] - rd[1], c, d, e2m[1])
                         if e2y == 0.0:
                             continue
                         for vv in range(lmn3[2] + lmn4[2] + 1):
-                            e2z = hermite_e(
-                                lmn3[2], lmn4[2], vv, rc[2] - rd[2], c, d
+                            e2z = _e_memo(
+                                lmn3[2], lmn4[2], vv, rc[2] - rd[2], c, d, e2m[2]
                             )
                             if e2z == 0.0:
                                 continue
                             sign = (-1.0) ** (tt + uu + vv)
                             out += (
                                 e1x * e1y * e1z * e2x * e2y * e2z * sign
-                                * _r_cached(
+                                * _r_memo(
                                     t + tt, u + uu, v + vv, 0, alpha,
-                                    float(pq[0]), float(pq[1]), float(pq[2]),
+                                    qx, qy, qz, r_memo,
                                 )
                             )
     return out * 2.0 * math.pi ** 2.5 / (p * q * math.sqrt(p + q))

@@ -7,12 +7,24 @@ Lanczos/GAGQ solver. Also exposes the bridge that maps a decomposition
 onto the simulated supercomputers for timing studies.
 """
 
+from repro.pipeline.executor import (
+    FragmentExecutor,
+    FragmentExecutorError,
+    FragmentTask,
+    ThroughputReport,
+    make_executor,
+)
 from repro.pipeline.qf_raman import PipelineResult, QFRamanPipeline
 from repro.pipeline.rigid import kabsch_rotation, rotate_response
 
 __all__ = [
     "PipelineResult",
     "QFRamanPipeline",
+    "FragmentExecutor",
+    "FragmentExecutorError",
+    "FragmentTask",
+    "ThroughputReport",
+    "make_executor",
     "kabsch_rotation",
     "rotate_response",
 ]

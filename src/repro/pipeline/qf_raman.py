@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dfpt.hessian import FragmentResponse, fragment_response
+from repro.dfpt.hessian import FragmentResponse
 from repro.fragment.assembly import (
     AssembledResponse,
     assemble_response,
@@ -33,6 +33,12 @@ from repro.fragment.assembly import (
 from repro.fragment.fragmenter import QFDecomposition, decompose_system
 from repro.geometry.atoms import Geometry
 from repro.geometry.protein import BuiltResidue
+from repro.pipeline.executor import (
+    FragmentExecutor,
+    FragmentTask,
+    ThroughputReport,
+    make_executor,
+)
 from repro.pipeline.rigid import (
     geometry_signature,
     kabsch_rotation,
@@ -57,6 +63,7 @@ class PipelineResult:
     masses_amu: np.ndarray
     unique_pieces: int
     timer: Timer = field(default_factory=Timer)
+    throughput: ThroughputReport | None = None
 
     @property
     def natoms(self) -> int:
@@ -81,6 +88,9 @@ class QFRamanPipeline:
         relax_waters: bool = False,
         cache_dir: str | None = None,
         verbose: bool = False,
+        executor: str | FragmentExecutor = "serial",
+        max_workers: int | None = None,
+        schwarz_cutoff: float = 1.0e-12,
     ):
         if protein is None and not waters:
             raise ValueError("pipeline needs a protein, waters, or both")
@@ -106,6 +116,12 @@ class QFRamanPipeline:
         self.compute_raman = compute_raman
         self.delta = delta
         self.verbose = verbose
+        #: executor backend name or a ready FragmentExecutor instance;
+        #: see :mod:`repro.pipeline.executor` for the three backends
+        self.executor = executor
+        self.max_workers = max_workers
+        self.schwarz_cutoff = schwarz_cutoff
+        self.throughput: ThroughputReport | None = None
         self.timer = Timer()
         self.cache = None
         if cache_dir is not None:
@@ -127,22 +143,33 @@ class QFRamanPipeline:
 
     def compute_responses(self, decomposition: QFDecomposition
                           ) -> tuple[list[FragmentResponse], int]:
-        """One :class:`FragmentResponse` per piece (rigid copies reused)."""
-        cache: dict[tuple, tuple[FragmentResponse, Geometry]] = {}
-        responses: list[FragmentResponse] = []
-        unique = 0
-        for k, piece in enumerate(decomposition.pieces):
+        """One :class:`FragmentResponse` per piece (rigid copies reused).
+
+        Three phases: *plan* (resolve rigid duplicates and disk-cache
+        hits, leaving a list of pieces that genuinely need a QM run),
+        *execute* (hand those to the configured executor backend —
+        serial, process pool, or per-displacement pool), *assemble*
+        (fill the per-piece response list in decomposition order,
+        rotating duplicates off their computed representative). The
+        plan mirrors the original serial control flow exactly, so every
+        backend produces identical responses.
+        """
+        # -- plan: what does each piece resolve to? --------------------------
+        # rep[sig] = index of the latest piece computed/loaded for sig
+        rep: dict[tuple, int] = {}
+        plan: list[tuple] = []          # ("rotate", ref_idx, rot) |
+        #                                 ("cached", resp) | ("compute",)
+        tasks: list[FragmentTask] = []
+        pieces = decomposition.pieces
+        for k, piece in enumerate(pieces):
             sig = geometry_signature(piece.geometry) if self.dedupe_rigid else None
-            if sig is not None and sig in cache:
-                ref_resp, ref_geom = cache[sig]
+            if sig is not None and sig in rep:
+                ref_geom = pieces[rep[sig]].geometry
                 rot, _t, rmsd = kabsch_rotation(
                     ref_geom.coords, piece.geometry.coords
                 )
                 if rmsd < 1.0e-6:
-                    with self.timer.section("rotate_response"):
-                        responses.append(
-                            rotate_response(ref_resp, rot, piece.geometry)
-                        )
+                    plan.append(("rotate", rep[sig], rot))
                     continue
             if self.cache is not None:
                 stored = self.cache.load(piece.geometry, self.basis_name,
@@ -150,29 +177,66 @@ class QFRamanPipeline:
                 if stored is not None and (
                     not self.compute_raman or stored.dalpha_dr is not None
                 ):
-                    responses.append(stored)
+                    plan.append(("cached", stored))
                     if sig is not None:
-                        cache[sig] = (stored, piece.geometry)
+                        rep[sig] = k
                     continue
-            self._log(
-                f"[{k + 1}/{len(decomposition.pieces)}] response for "
-                f"{piece.label} ({piece.natoms} atoms)"
-            )
-            with self.timer.section("fragment_response"):
-                resp = fragment_response(
-                    piece.geometry,
+            plan.append(("compute",))
+            tasks.append(
+                FragmentTask(
+                    index=k,
+                    label=piece.label or f"piece-{k}",
+                    geometry=piece.geometry,
                     delta=self.delta,
                     compute_raman=self.compute_raman,
                     basis_name=self.basis_name,
                     eri_mode=self.eri_mode,
+                    schwarz_cutoff=self.schwarz_cutoff,
                 )
-            unique += 1
-            responses.append(resp)
-            if self.cache is not None:
-                self.cache.store(resp, self.basis_name, self.delta)
+            )
             if sig is not None:
-                cache[sig] = (resp, piece.geometry)
-        return responses, unique
+                rep[sig] = k
+
+        # -- execute the remaining unique pieces -----------------------------
+        computed: dict[int, FragmentResponse] = {}
+        if tasks:
+            owns_executor = isinstance(self.executor, str)
+            executor = (
+                make_executor(self.executor, max_workers=self.max_workers)
+                if owns_executor else self.executor
+            )
+            self._log(
+                f"computing {len(tasks)} unique pieces with "
+                f"backend={executor.name} workers={executor.max_workers}"
+            )
+            try:
+                with self.timer.section("fragment_response"):
+                    computed, self.throughput = executor.run(tasks)
+            finally:
+                if owns_executor:
+                    executor.close()
+            self._log(self.throughput.summary())
+            if self.cache is not None:
+                for task in tasks:
+                    self.cache.store(computed[task.index], self.basis_name,
+                                     self.delta)
+
+        # -- assemble in decomposition order ----------------------------------
+        responses: list[FragmentResponse] = []
+        for k, (piece, entry) in enumerate(zip(pieces, plan)):
+            kind = entry[0]
+            if kind == "compute":
+                responses.append(computed[k])
+            elif kind == "cached":
+                responses.append(entry[1])
+            else:  # rotate off the representative (computed or cached)
+                _kind, ref_idx, rot = entry
+                with self.timer.section("rotate_response"):
+                    responses.append(
+                        rotate_response(responses[ref_idx], rot,
+                                        piece.geometry)
+                    )
+        return responses, len(tasks)
 
     def masses(self) -> np.ndarray:
         parts = []
@@ -223,6 +287,8 @@ class QFRamanPipeline:
                     )
                 else:
                     raise ValueError(f"unknown solver {solver!r}")
+        if self.throughput is not None:
+            self.throughput.phase_wall_s = dict(self.timer.totals)
         return PipelineResult(
             decomposition=decomposition,
             responses=responses,
@@ -231,6 +297,7 @@ class QFRamanPipeline:
             masses_amu=masses,
             unique_pieces=unique,
             timer=self.timer,
+            throughput=self.throughput,
         )
 
     def workload_sizes(self, decomposition: QFDecomposition | None = None

@@ -128,9 +128,20 @@ class DensityFitting:
     def _build_3c(self) -> np.ndarray:
         nbf = self.engine.nbf
         out = np.zeros((nbf, nbf, self.naux))
-        for bra in self.engine.blocks:
-            for ket in self.aux_blocks:
-                vals = self.engine.coulomb_block(bra, ket)
+        # Schwarz screening of (ab|P): bound sqrt((ab|ab)) sqrt((P|P)).
+        # Orbital pairs with negligible pair density never touch any
+        # auxiliary function, which is where production fragments spend
+        # their integral time.
+        screened = self.engine.schwarz_cutoff > 0.0
+        q_orb = self.engine._bounds_self() if screened else None
+        q_aux = self.engine.schwarz_bounds(self.aux_blocks) if screened else None
+        for bi, bra in enumerate(self.engine.blocks):
+            for ki, ket in enumerate(self.aux_blocks):
+                vals = self.engine.coulomb_block(
+                    bra, ket,
+                    q_bra=q_orb[bi] if screened else None,
+                    q_ket=q_aux[ki] if screened else None,
+                )
                 # vals: (npb, na, nb, npk, nc, 1)
                 na, nb = vals.shape[1], vals.shape[2]
                 nc = vals.shape[4]

@@ -58,6 +58,23 @@ def test_residual_gradient_recorded(water_response):
     assert np.abs(water_response.gradient).max() < 5e-3
 
 
+def test_scf_seeding_recorded(water_response):
+    """Displaced SCFs are density-seeded (+delta from base, -delta from
+    the +delta twin); the meta block records the iteration savings
+    against the cold-start baseline of the base SCF."""
+    meta = water_response.meta
+    assert meta["scf_iters_base"] > 0
+    assert meta["scf_iters_plus"] > 0
+    assert meta["scf_iters_minus"] > 0
+    # warm starts must beat 18 cold starts of the same problem size
+    assert meta["scf_iters_saved"] > 0
+    assert meta["scf_iters_saved"] == (
+        18 * meta["scf_iters_base"]
+        - meta["scf_iters_plus"] - meta["scf_iters_minus"]
+    )
+    assert meta["schwarz_cutoff"] == 1.0e-12
+
+
 def test_progress_callback(water_optimized):
     calls = []
     fragment_response(

@@ -1,0 +1,94 @@
+"""Schwarz screening: rigorous bounds, bounded error, real pruning."""
+
+import numpy as np
+import pytest
+
+from repro.basis.gaussian import build_basis
+from repro.geometry import water_molecule
+from repro.geometry.atoms import Geometry
+from repro.integrals.engine import IntegralEngine
+from repro.scf import RHF
+
+CUTOFF = 1.0e-10
+
+
+def _engine(geometry, schwarz_cutoff=0.0):
+    basis = build_basis(geometry, "sto-3g")
+    return IntegralEngine(
+        basis, geometry.numbers.astype(float), geometry.coords,
+        schwarz_cutoff=schwarz_cutoff,
+    )
+
+
+@pytest.fixture(scope="module")
+def stretched_waters() -> Geometry:
+    """Two waters ~8 Å apart: plenty of negligible cross pairs."""
+    w = water_molecule()
+    far = w.coords + np.array([15.0, 0.0, 0.0])  # bohr
+    return Geometry(
+        list(w.symbols) * 2, np.vstack([w.coords, far])
+    )
+
+
+def test_bounds_are_true_upper_bounds(water):
+    """|(ab|cd)| <= Q_ab Q_cd for every pair combination (Cauchy-Schwarz)."""
+    eng = _engine(water)
+    bounds = eng.schwarz_bounds(eng.blocks)
+    for bi, bra in enumerate(eng.blocks):
+        for ki, ket in enumerate(eng.blocks):
+            vals = eng.coulomb_block(bra, ket)
+            # (npb, na, nb, npk, nc, nd) -> max |value| per (rb, rk)
+            m = np.abs(vals).max(axis=(1, 2, 4, 5))
+            bound = bounds[bi][:, None] * bounds[ki][None, :]
+            assert np.all(m <= bound + 1e-12)
+
+
+def test_screened_eri_matches_unscreened_to_cutoff(stretched_waters):
+    eri0 = _engine(stretched_waters).eri()
+    eng = _engine(stretched_waters, schwarz_cutoff=CUTOFF)
+    eri1 = eng.eri()
+    assert np.abs(eri1 - eri0).max() <= CUTOFF
+    stats = eng.screen_stats
+    assert stats["pair_combinations_screened"] > 0
+    assert (
+        stats["pair_combinations_evaluated"]
+        + stats["pair_combinations_screened"]
+        == stats["pair_combinations_total"]
+    )
+
+
+def test_cutoff_zero_disables_screening(water):
+    eng = _engine(water, schwarz_cutoff=0.0)
+    eng.eri()
+    assert eng.screen_stats["pair_combinations_total"] == 0
+    assert eng.screen_stats["pair_combinations_screened"] == 0
+
+
+def test_rhf_energy_unchanged_while_pairs_screened(stretched_waters):
+    """Acceptance: screening on, SCF energy unchanged to 1e-9 Ha while
+    the pair-evaluation counter actually drops."""
+    e_ref = RHF(stretched_waters, eri_mode="exact", schwarz_cutoff=0.0).run()
+    scf = RHF(stretched_waters, eri_mode="exact", schwarz_cutoff=CUTOFF)
+    e_scr = scf.run()
+    assert e_ref.converged and e_scr.converged
+    assert abs(e_scr.energy - e_ref.energy) < 1e-9
+    stats = scf.engine.screen_stats
+    assert stats["pair_combinations_screened"] > 0
+    assert (
+        stats["pair_combinations_evaluated"]
+        < stats["pair_combinations_total"]
+    )
+
+
+def test_df_build_screened_matches_unscreened(stretched_waters):
+    """The DF Coulomb/exchange tensors agree when (ab|P) is screened."""
+    from repro.scf.df import DensityFitting, auto_aux_basis
+
+    eng0 = _engine(stretched_waters)
+    eng1 = _engine(stretched_waters, schwarz_cutoff=CUTOFF)
+    basis = eng0.basis
+    aux = auto_aux_basis(stretched_waters, basis)
+    df0 = DensityFitting(eng0, aux)
+    df1 = DensityFitting(eng1, aux)
+    assert np.abs(df1.j3c - df0.j3c).max() <= CUTOFF
+    assert eng1.screen_stats["pair_combinations_screened"] > 0
