@@ -1,0 +1,25 @@
+# Repo-root convenience targets. The package runs from source with
+# PYTHONPATH=src — no build step (see .claude/skills/verify/SKILL.md).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint test test-all sanitize-smoke
+
+# QF physics-aware linter (docs/static_analysis.md); fails on any new
+# unsuppressed finding — the same zero-findings bar the tier-1 test
+# tests/devtools/test_lint_src_clean.py enforces.
+lint:
+	$(PYTHON) -m repro.devtools.lint src
+
+# tier-1 suite (slow end-to-end tests deselected, per pyproject)
+test:
+	$(PYTHON) -m pytest -x -q
+
+# everything, including @pytest.mark.slow end-to-end runs
+test-all:
+	$(PYTHON) -m pytest -q -m ""
+
+# quick end-to-end proof that the runtime sanitizer is wired through
+sanitize-smoke:
+	QF_SANITIZE=1 $(PYTHON) -m repro water-raman --n 1 --verbose

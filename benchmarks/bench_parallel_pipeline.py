@@ -78,10 +78,9 @@ def run_comparison() -> dict:
     }
     print(f"  speedup x{speedup:.2f} on {os.cpu_count()} cores "
           f"(max |dH| = {max_dev:.2e})")
-    # both names: bench_* matches the other benchmark outputs, BENCH_*
-    # is the recorded artifact referenced by EXPERIMENTS.md/ISSUE
+    # canonical artifact name: lowercase bench_*, matching every other
+    # benchmark output in benchmarks/output/
     save_result("bench_parallel_pipeline", payload)
-    save_result("BENCH_parallel_pipeline", payload)
     return payload
 
 

@@ -17,6 +17,7 @@ Subpackages:
 - :mod:`repro.hpc`       — machine models, scheduler + offload simulation
 - :mod:`repro.pipeline`  — the end-to-end driver
 - :mod:`repro.analysis`  — peaks, band assignment, reference spectra
+- :mod:`repro.devtools`  — physics-aware linter + runtime sanitizer
 """
 
 __version__ = "1.0.0"

@@ -7,14 +7,27 @@ reproducible without writing a script:
     python -m repro peptide-raman --sequence GLY ALA
     python -m repro simulate --machine ORISE --nodes 750 1500 3000
     python -m repro counts
+    python -m repro devtools lint src/
+
+``--sanitize`` on the pipeline commands turns on the runtime numerical
+sanitizer (equivalent to ``QF_SANITIZE=1``; see
+:mod:`repro.devtools.contracts` and docs/static_analysis.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
+
+
+def _apply_sanitize(args) -> None:
+    """Honor --sanitize by exporting QF_SANITIZE for this process *and*
+    any executor pool workers (which inherit the environment)."""
+    if getattr(args, "sanitize", False):
+        os.environ["QF_SANITIZE"] = "1"
 
 
 def _cmd_water_raman(args) -> int:
@@ -23,6 +36,7 @@ def _cmd_water_raman(args) -> int:
     from repro.geometry import water_box
     from repro.pipeline import QFRamanPipeline
 
+    _apply_sanitize(args)
     pipe = QFRamanPipeline(
         waters=water_box(args.n, seed=args.seed), relax_waters=True,
         verbose=args.verbose,
@@ -57,6 +71,7 @@ def _cmd_peptide_raman(args) -> int:
     from repro.pipeline import QFRamanPipeline
     from repro.scf.optimize import optimize_geometry
 
+    _apply_sanitize(args)
     geom, residues = build_polypeptide(args.sequence)
     opt = optimize_geometry(geom, eri_mode="df")
     pipe = QFRamanPipeline(protein=opt.geometry, residues=residues,
@@ -127,6 +142,17 @@ def _cmd_counts(args) -> int:
     return 0
 
 
+def _cmd_devtools_lint(args) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="QF-RAMAN reproduction command line"
@@ -142,6 +168,11 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument(
             "--workers", type=int, default=None,
             help="worker processes for parallel backends (default: cpu count)",
+        )
+        p.add_argument(
+            "--sanitize", action="store_true",
+            help="enable the runtime numerical sanitizer "
+                 "(= QF_SANITIZE=1; see docs/static_analysis.md)",
         )
 
     p = sub.add_parser("water-raman", help="Raman spectrum of a water box")
@@ -172,6 +203,18 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("counts", help="full-scale decomposition statistics")
     p.add_argument("--residues", type=int, default=3180)
     p.set_defaults(fn=_cmd_counts)
+
+    p = sub.add_parser(
+        "devtools", help="developer tooling (QF linter, sanitizer docs)"
+    )
+    dev_sub = p.add_subparsers(dest="devtools_command", required=True)
+    pl = dev_sub.add_parser("lint", help="run the QF physics-aware linter")
+    pl.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories (default: src)")
+    pl.add_argument("--select", default=None,
+                    help="comma-separated rule codes/aliases to report")
+    pl.add_argument("--list-rules", action="store_true")
+    pl.set_defaults(fn=_cmd_devtools_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,41 @@
+"""Developer tooling: physics-aware static analysis + runtime sanitizer.
+
+Two halves, both zero-dependency (stdlib + numpy only):
+
+- :mod:`repro.devtools.lint` — an AST linter with QF-specific rules
+  (float equality on physics quantities, malformed ``np.einsum``
+  subscripts, overbroad ``except`` that can swallow worker errors,
+  unseeded RNG, silent dtype downcasts, …). Run it as
+  ``python -m repro.devtools.lint src/`` or ``python -m repro devtools
+  lint src/``; rules and suppression syntax are documented in
+  ``docs/static_analysis.md``.
+- :mod:`repro.devtools.contracts` — a runtime numerical sanitizer
+  (``QF_SANITIZE=1``): array contracts (symmetry, finiteness, shape,
+  dtype) checked at the hot public API boundaries, raising structured
+  :class:`~repro.devtools.contracts.ContractViolation` errors that name
+  the producing fragment/phase. Zero-cost no-op when disabled.
+"""
+
+from repro.devtools.contracts import (
+    ContractViolation,
+    array_contract,
+    check_array,
+    check_response,
+    response_digest,
+    sanitize,
+    sanitize_enabled,
+)
+from repro.devtools.lint import Finding, lint_paths, lint_source
+
+__all__ = [
+    "ContractViolation",
+    "array_contract",
+    "check_array",
+    "check_response",
+    "response_digest",
+    "sanitize",
+    "sanitize_enabled",
+    "Finding",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,179 @@
+"""QF linter driver: file discovery, suppression handling, CLI.
+
+Usage::
+
+    python -m repro.devtools.lint src/          # lint a tree
+    python -m repro.devtools.lint file.py -v    # single file, verbose
+    python -m repro devtools lint src/          # via the main CLI
+
+Exit status 0 means no unsuppressed findings; 1 means findings were
+reported; 2 means a file could not be parsed.
+
+Suppression syntax (documented in ``docs/static_analysis.md``):
+
+- line level: a trailing ``# qf: <tag>`` comment on the finding's line,
+  where ``<tag>`` is a rule code (``QF001``), its alias
+  (``exact-zero``), or ``all``. Several tags may be comma-separated.
+- file level: a ``# qf-file: <tags>`` comment anywhere in the file
+  disables those rules for the whole file.
+
+The linter is intentionally stdlib-only (``ast`` + ``tokenize`` free):
+it must run in the bare production container.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+from repro.devtools.lint.rules import ALIASES, RULES, Finding, RuleVisitor
+
+__all__ = [
+    "ALIASES",
+    "RULES",
+    "Finding",
+    "LintError",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+_LINE_TAG = re.compile(r"#\s*qf:\s*([A-Za-z0-9_,\-\s]+)")
+_FILE_TAG = re.compile(r"^\s*#\s*qf-file:\s*([A-Za-z0-9_,\-\s]+)")
+
+
+class LintError(RuntimeError):
+    """A file could not be linted (syntax error, unreadable)."""
+
+
+def _parse_tags(raw: str) -> set[str]:
+    """Normalize a suppression tag list to rule codes ('all' -> every)."""
+    codes: set[str] = set()
+    for tag in re.split(r"[,\s]+", raw.strip()):
+        if not tag:
+            continue
+        tag_l = tag.lower()
+        if tag_l == "all":
+            codes.update(RULES)
+        elif tag_l in ALIASES:
+            codes.add(ALIASES[tag_l])
+        elif tag.upper() in RULES:
+            codes.add(tag.upper())
+        # unknown tags are ignored rather than fatal: a typo'd
+        # suppression then *fails* the lint run, which is the loud
+        # failure mode we want
+    return codes
+
+
+def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """(per-line rule codes, file-wide rule codes) from comments."""
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _FILE_TAG.search(line)
+        if m:
+            file_wide |= _parse_tags(m.group(1))
+            continue
+        m = _LINE_TAG.search(line)
+        if m:
+            per_line[i] = _parse_tags(m.group(1))
+    return per_line, file_wide
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    is_package_init: bool | None = None,
+    include_suppressed: bool = False,
+) -> list[Finding]:
+    """Lint one source string; returns unsuppressed findings in line order.
+
+    ``is_package_init`` controls the QF007 rule; by default it is
+    inferred from ``path`` ending in ``__init__.py``.
+    """
+    if is_package_init is None:
+        is_package_init = Path(path).name == "__init__.py"
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: {exc}") from exc
+    visitor = RuleVisitor(path, is_package_init=is_package_init)
+    visitor.visit(tree)
+    if include_suppressed:
+        return sorted(visitor.findings, key=lambda f: (f.line, f.col))
+    per_line, file_wide = _suppressions(source)
+    kept = [
+        f for f in visitor.findings
+        if f.code not in file_wide and f.code not in per_line.get(f.line, ())
+    ]
+    return sorted(kept, key=lambda f: (f.line, f.col))
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: list[Path] = []
+    for p in map(Path, paths):
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    # skip build artifacts that setuptools drops into src/
+    return [p for p in out if "egg-info" not in str(p)
+            and "__pycache__" not in str(p)]
+
+
+def lint_paths(
+    paths: list[str | Path],
+    select: set[str] | None = None,
+) -> list[Finding]:
+    """Lint every .py file under ``paths``; optional rule-code filter."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        for f in lint_source(source, path=str(file)):
+            if select is None or f.code in select:
+                findings.append(f)
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="QF physics-aware linter (rule docs: "
+                    "docs/static_analysis.md)",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule codes/aliases to report (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, (alias, desc) in sorted(RULES.items()):
+            print(f"{code}  {alias:<16} {desc}")
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: paths")
+
+    select = _parse_tags(args.select) if args.select else None
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for f in findings:
+        print(f)
+    n_files = len(iter_python_files(args.paths))
+    if findings:
+        print(f"{len(findings)} finding(s) in {n_files} file(s)",
+              file=sys.stderr)
+        return 1
+    return 0

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devtools.contracts import check_array, sanitize_enabled
 from repro.scf.rhf import SCFResult
 from repro.utils.flops import FlopCounter, gemm_flops
 from repro.utils.timing import Timer
@@ -177,6 +178,14 @@ class CPHF:
             p1[x] = 2.0 * (xmat + xmat.T)
         # alpha_xy = -tr(P^(1),y D_x); symmetric for exact response
         alpha = -np.einsum("xab,yab->xy", dip, p1)
+        if sanitize_enabled():
+            # a NaN response density or an asymmetric polarizability
+            # means the CPHF fixed point diverged silently
+            ctx = f"cphf nbf={p1.shape[1]} niter={it} converged={converged}"
+            check_array("p1", p1, symmetric=True,
+                        shape=(3, p1.shape[1], p1.shape[2]), context=ctx)
+            check_array("alpha", alpha, symmetric=True, shape=(3, 3),
+                        atol=1.0e-5, context=ctx)
         return CPHFResult(alpha=alpha, u=u, p1=p1, converged=converged, niter=it)
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.devtools.contracts import check_response
 from repro.dfpt.cphf import CPHF
 from repro.dfpt.gradient import gradient
 from repro.geometry.atoms import Geometry
@@ -271,7 +272,7 @@ def fragment_response(
             timer.counts[name] += cnt
     # the exact Hessian is symmetric; FD noise is split evenly
     hessian = 0.5 * (hessian + hessian.T)
-    return FragmentResponse(
+    resp = FragmentResponse(
         geometry=geometry,
         energy=base.energy,
         hessian=hessian,
@@ -294,3 +295,6 @@ def fragment_response(
             - (iters_plus + iters_minus),
         },
     )
+    # no-op unless QF_SANITIZE is set; the executor re-checks with the
+    # fragment label attached, this guards direct library callers
+    return check_response(resp, phase="fragment_response")

@@ -25,6 +25,7 @@ def solvate(
     clash_distance: float = 2.4,
     density: float = WATER_NUMBER_DENSITY,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> list[Geometry]:
     """Return the retained water molecules around ``solute``.
 
@@ -37,6 +38,10 @@ def solvate(
     clash_distance:
         Waters with any atom within this distance (angstrom) of a solute
         atom are removed.
+    rng:
+        Explicit random generator; overrides ``seed``. Passing the
+        caller's generator keeps a multi-stage build (protein → box →
+        solvation) on one reproducible stream.
 
     Returns
     -------
@@ -45,7 +50,8 @@ def solvate(
     """
     if margin < 0 or clash_distance <= 0:
         raise ValueError("margin must be >= 0 and clash_distance > 0")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     solute_ang = solute.coords_angstrom()
     lo = solute_ang.min(axis=0) - margin
     hi = solute_ang.max(axis=0) + margin

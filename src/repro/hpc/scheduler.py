@@ -72,6 +72,7 @@ def simulate_qf_run(
     prefetch: bool = True,
     job_noise: float = 0.01,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
     speedup: float = 1.0,
     leader_costs: np.ndarray | None = None,
     straggler_prob: float = 0.0,
@@ -97,6 +98,10 @@ def simulate_qf_run(
     leader_costs:
         Optional precomputed per-fragment leader wall times (overrides
         ``cost_model``; lets mixed workloads combine several models).
+    rng:
+        Explicit random generator; overrides ``seed``. Lets ensemble
+        studies (Fig. 8 variance bands) drive many simulations off one
+        reproducible stream.
     straggler_prob:
         Fault-tolerance model (paper §V-B: "fragments processed for a
         long time but not yet completed are marked un-processed again").
@@ -108,7 +113,8 @@ def simulate_qf_run(
     if n_nodes > machine.total_nodes:
         raise ValueError(f"{machine.name}: {n_nodes} > {machine.total_nodes} nodes")
     policy = policy or SystemSizeSensitivePolicy()
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     sizes = np.asarray(fragment_sizes)
     workers = machine.workers_per_leader
     if leader_costs is None:

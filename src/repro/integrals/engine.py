@@ -295,7 +295,7 @@ def build_pair_blocks(
         for (i, j) in pairs:
             si, sj = shells[i], shells[j]
             d2 = float(np.sum((si.center - sj.center) ** 2))
-            if d2 == 0.0:
+            if d2 == 0.0:  # qf: exact-zero — same-center shell pair
                 kept.append((i, j))
                 continue
             amin, bmin = float(si.exps.min()), float(sj.exps.min())

@@ -186,15 +186,15 @@ def nuclear_prim(a, lmn1, ra, b, lmn2, rb, rc) -> float:
     out = 0.0
     for t in range(lmn1[0] + lmn2[0] + 1):
         ex = _e_memo(lmn1[0], lmn2[0], t, ra[0] - rb[0], a, b, ex_memo)
-        if ex == 0.0:
+        if ex == 0.0:  # qf: exact-zero — Hermite E is analytically zero
             continue
         for u in range(lmn1[1] + lmn2[1] + 1):
             ey = _e_memo(lmn1[1], lmn2[1], u, ra[1] - rb[1], a, b, ey_memo)
-            if ey == 0.0:
+            if ey == 0.0:  # qf: exact-zero
                 continue
             for v in range(lmn1[2] + lmn2[2] + 1):
                 ez = _e_memo(lmn1[2], lmn2[2], v, ra[2] - rb[2], a, b, ez_memo)
-                if ez == 0.0:
+                if ez == 0.0:  # qf: exact-zero
                     continue
                 out += ex * ey * ez * _r_memo(
                     t, u, v, 0, p, px, py, pz, r_memo
@@ -219,29 +219,29 @@ def eri_prim(a, lmn1, ra, b, lmn2, rb, c, lmn3, rc, d, lmn4, rd) -> float:
     out = 0.0
     for t in range(lmn1[0] + lmn2[0] + 1):
         e1x = _e_memo(lmn1[0], lmn2[0], t, ra[0] - rb[0], a, b, e1m[0])
-        if e1x == 0.0:
+        if e1x == 0.0:  # qf: exact-zero — Hermite E is analytically zero
             continue
         for u in range(lmn1[1] + lmn2[1] + 1):
             e1y = _e_memo(lmn1[1], lmn2[1], u, ra[1] - rb[1], a, b, e1m[1])
-            if e1y == 0.0:
+            if e1y == 0.0:  # qf: exact-zero
                 continue
             for v in range(lmn1[2] + lmn2[2] + 1):
                 e1z = _e_memo(lmn1[2], lmn2[2], v, ra[2] - rb[2], a, b, e1m[2])
-                if e1z == 0.0:
+                if e1z == 0.0:  # qf: exact-zero
                     continue
                 for tt in range(lmn3[0] + lmn4[0] + 1):
                     e2x = _e_memo(lmn3[0], lmn4[0], tt, rc[0] - rd[0], c, d, e2m[0])
-                    if e2x == 0.0:
+                    if e2x == 0.0:  # qf: exact-zero
                         continue
                     for uu in range(lmn3[1] + lmn4[1] + 1):
                         e2y = _e_memo(lmn3[1], lmn4[1], uu, rc[1] - rd[1], c, d, e2m[1])
-                        if e2y == 0.0:
+                        if e2y == 0.0:  # qf: exact-zero
                             continue
                         for vv in range(lmn3[2] + lmn4[2] + 1):
                             e2z = _e_memo(
                                 lmn3[2], lmn4[2], vv, rc[2] - rd[2], c, d, e2m[2]
                             )
-                            if e2z == 0.0:
+                            if e2z == 0.0:  # qf: exact-zero
                                 continue
                             sign = (-1.0) ** (tt + uu + vv)
                             out += (

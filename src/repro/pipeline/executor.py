@@ -41,6 +41,12 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
+from repro.devtools.contracts import (
+    ContractViolation,
+    check_response,
+    determinism_check_enabled,
+    response_digest,
+)
 from repro.dfpt.hessian import FragmentResponse, fragment_response
 from repro.geometry.atoms import Geometry
 
@@ -148,7 +154,7 @@ def _run_task(task: FragmentTask) -> FragmentTaskResult:
             schwarz_cutoff=task.schwarz_cutoff,
         )
         error = None
-    except Exception as exc:  # noqa: BLE001 — reported to the parent
+    except Exception as exc:  # qf: broad-except — captured + re-raised in parent
         resp = None
         error = (repr(exc), traceback.format_exc())
     return FragmentTaskResult(
@@ -171,10 +177,44 @@ def largest_first(tasks: list[FragmentTask]) -> list[FragmentTask]:
     return sorted(tasks, key=lambda t: -t.natoms)
 
 
-def _check(result: FragmentTaskResult) -> FragmentTaskResult:
+def _check(result: FragmentTaskResult,
+           phase: str = "executor") -> FragmentTaskResult:
     if result.error is not None:
         raise FragmentExecutorError(result.label, *result.error)
+    # runtime sanitizer (QF_SANITIZE=1): re-validate the response with
+    # the fragment label attached so a violation names its producer
+    check_response(result.response, label=result.label, phase=phase)
     return result
+
+
+def verify_determinism(
+    tasks: list[FragmentTask],
+    computed: dict[int, FragmentResponse],
+    phase: str = "executor",
+) -> None:
+    """Serial-vs-pool digest comparison (``QF_SANITIZE_DETERMINISM=1``).
+
+    Recomputes every task in the parent process and compares content
+    hashes of the float64 payloads. The backends promise bitwise
+    identical numerics; a mismatch means cross-process nondeterminism
+    (BLAS thread effects, stale worker state) and raises a
+    :class:`~repro.devtools.contracts.ContractViolation` naming the
+    fragment. This doubles the compute — it is a debugging mode, not a
+    production default.
+    """
+    for task in tasks:
+        serial = _run_task(task)
+        if serial.error is not None:
+            raise FragmentExecutorError(task.label, *serial.error)
+        pool_digest = response_digest(computed[task.index])
+        serial_digest = response_digest(serial.response)
+        if pool_digest != serial_digest:
+            raise ContractViolation(
+                f"pool result diverges from the serial reference "
+                f"(serial {serial_digest[:12]} != pool {pool_digest[:12]})",
+                name="response", rule="determinism",
+                context=f"fragment={task.label} phase={phase}",
+            )
 
 
 class FragmentExecutor:
@@ -236,7 +276,7 @@ class SerialExecutor(FragmentExecutor):
 
     def run(self, tasks):
         t0 = time.perf_counter()
-        results = [_check(_run_task(t)) for t in tasks]
+        results = [_check(_run_task(t), phase="serial") for t in tasks]
         report = self._report(results, time.perf_counter() - t0)
         return {r.index: r.response for r in results}, report
 
@@ -267,13 +307,18 @@ class ProcessExecutor(FragmentExecutor):
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in finished:
-                    results.extend(_check(r) for r in fut.result())
+                    results.extend(
+                        _check(r, phase="process") for r in fut.result()
+                    )
         except Exception:
             for fut in pending:
                 fut.cancel()
             raise
+        responses = {r.index: r.response for r in results}
+        if determinism_check_enabled():
+            verify_determinism(tasks, responses, phase="process")
         report = self._report(results, time.perf_counter() - t0)
-        return {r.index: r.response for r in results}, report
+        return responses, report
 
 
 class DisplacementExecutor(FragmentExecutor):
@@ -320,6 +365,7 @@ class DisplacementExecutor(FragmentExecutor):
                     timer.total(k) for k in
                     ("scf_displaced", "gradient_displaced", "cphf_displaced")
                 )
+            check_response(resp, label=task.label, phase="displacement")
             results.append(
                 FragmentTaskResult(
                     index=task.index, label=task.label, natoms=task.natoms,
@@ -327,8 +373,11 @@ class DisplacementExecutor(FragmentExecutor):
                     worker=os.getpid(),
                 )
             )
+        responses = {r.index: r.response for r in results}
+        if determinism_check_enabled():
+            verify_determinism(tasks, responses, phase="displacement")
         report = self._report(results, time.perf_counter() - t0, busy_s=busy_s)
-        return {r.index: r.response for r in results}, report
+        return responses, report
 
 
 _BACKENDS = {

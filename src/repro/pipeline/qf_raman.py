@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.devtools.contracts import check_array, sanitize_enabled
 from repro.dfpt.hessian import FragmentResponse
 from repro.fragment.assembly import (
     AssembledResponse,
@@ -266,6 +267,16 @@ class QFRamanPipeline:
             assembled = assemble_response(
                 decomposition.pieces, responses, decomposition.natoms_total
             )
+        if sanitize_enabled():
+            # the Eq. (1) signed sum must preserve Hermiticity and
+            # finiteness; an index-inconsistent piece breaks both
+            n3 = 3 * decomposition.natoms_total
+            ctx = f"assembly pieces={len(decomposition.pieces)} natoms3={n3}"
+            check_array("assembled.hessian", assembled.hessian,
+                        symmetric=True, shape=(n3, n3), context=ctx)
+            if assembled.dalpha_dr is not None:
+                check_array("assembled.dalpha_dr", assembled.dalpha_dr,
+                            shape=(n3, 3, 3), context=ctx)
         masses = self.masses()
         spectrum = None
         if omega_cm1 is not None and self.compute_raman:

@@ -153,7 +153,7 @@ def _becke_partition(points: np.ndarray, coords: np.ndarray, owner: np.ndarray
                 f = 1.5 * f - 0.5 * f ** 3
             cell[:, i] *= 0.5 * (1.0 - f)
     total = cell.sum(axis=1)
-    total[total == 0.0] = 1.0
+    total[total == 0.0] = 1.0  # qf: exact-zero — guard exact 0/0 cells
     return cell[np.arange(points.shape[0]), owner] / total
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.basis.gaussian import BasisSet, build_basis
+from repro.devtools.contracts import check_array, sanitize_enabled
 from repro.geometry.atoms import Geometry
 from repro.integrals.engine import IntegralEngine
 from repro.scf.df import DensityFitting, auto_aux_basis
@@ -210,6 +211,19 @@ class RHF:
 
     def _pack_result(self, energy, e_nuc, c, mo_e, density, f, s, h,
                      converged, it) -> SCFResult:
+        if sanitize_enabled():
+            # the invariants every downstream consumer (gradient, CPHF,
+            # DFPT displacement loop) silently assumes of an SCF state
+            nbf = s.shape[0]
+            ctx = (f"scf natoms={self.geometry.natoms} nbf={nbf} "
+                   f"mode={self.eri_mode}")
+            check_array("overlap", s, symmetric=True, shape=(nbf, nbf),
+                        context=ctx)
+            check_array("fock", f, symmetric=True, shape=(nbf, nbf),
+                        context=ctx)
+            check_array("density", density, symmetric=True,
+                        shape=(nbf, nbf), context=ctx)
+            check_array("mo_energy", mo_e, context=ctx)
         return SCFResult(
             energy=energy,
             energy_nuc=e_nuc,

@@ -16,6 +16,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.devtools.contracts import (
+    ContractViolation,
+    check_array,
+    sanitize_enabled,
+)
 from repro.geometry.atoms import Geometry
 from repro.scf.grid import build_grid, density_on_grid, evaluate_basis
 from repro.scf.rhf import RHF
@@ -66,6 +71,17 @@ class RKS(RHF):
     def run(self, guess_density=None):
         result = super().run(guess_density=guess_density)
         rho = density_on_grid(self.chi, result.density)
+        if sanitize_enabled():
+            # a negative or NaN grid density poisons the LDA kernel and
+            # therefore every CPKS response built on this state
+            ctx = f"rks natoms={self.geometry.natoms} grid={rho.size}"
+            check_array("rho_grid", rho, context=ctx)
+            if float(rho.min()) < -1.0e-10:
+                raise ContractViolation(
+                    f"grid density has negative values "
+                    f"(min {float(rho.min()):.3e})",
+                    name="rho_grid", rule="nonnegative", context=ctx,
+                )
         result.extras["xc"] = {
             "name": "lda",
             "grid": self.grid,

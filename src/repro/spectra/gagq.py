@@ -27,9 +27,11 @@ from typing import Callable
 import numpy as np
 import scipy.linalg
 
+from repro.devtools.contracts import array_contract, check_array, sanitize_enabled
 from repro.spectra.lanczos import LanczosResult, lanczos
 
 
+@array_contract(symmetric=True, finite=True, name="gagq.t_hat")
 def gagq_matrix(result: LanczosResult) -> np.ndarray:
     """Build the (2k-1) x (2k-1) augmented tridiagonal T_hat."""
     k = result.k
@@ -57,6 +59,10 @@ def quadrature_nodes_weights(
     )
     theta, s = scipy.linalg.eigh(t)
     weights = s[0, :] ** 2 * result.d_norm ** 2
+    if sanitize_enabled():
+        ctx = f"gagq k={result.k} averaged={averaged}"
+        check_array("theta", theta, context=ctx)
+        check_array("weights", weights, context=ctx)
     return theta, weights
 
 

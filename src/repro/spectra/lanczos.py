@@ -18,6 +18,8 @@ from typing import Callable
 import numpy as np
 import scipy.sparse
 
+from repro.devtools.contracts import check_array, sanitize_enabled
+
 
 @dataclass
 class LanczosResult:
@@ -79,7 +81,7 @@ def lanczos(
     if k < 1:
         raise ValueError("k must be >= 1")
     d_norm = float(np.linalg.norm(start))
-    if d_norm == 0.0:
+    if d_norm == 0.0:  # qf: exact-zero — degenerate input, not FD noise
         raise ValueError("zero start vector")
     q = start / d_norm
 
@@ -108,9 +110,17 @@ def lanczos(
         beta_prev = b
         basis.append(q)
 
+    alpha_arr = np.array(alphas)
+    beta_arr = np.array(betas)
+    if sanitize_enabled():
+        # a NaN in the recurrence coefficients silently corrupts every
+        # quadrature node of the spectrum solver downstream
+        ctx = f"lanczos n={n} k={len(alphas)}"
+        check_array("alpha", alpha_arr, context=ctx)
+        check_array("beta", beta_arr, context=ctx)
     return LanczosResult(
-        alpha=np.array(alphas),
-        beta=np.array(betas),
+        alpha=alpha_arr,
+        beta=beta_arr,
         q=np.array(basis[: len(alphas)]).T if keep_basis else None,
         d_norm=d_norm,
         breakdown=breakdown,

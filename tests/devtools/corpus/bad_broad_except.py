@@ -1,0 +1,37 @@
+"""QF004 corpus — overbroad except without re-raise (never imported)."""
+
+
+def bare_except(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def swallowing_exception(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def reraising_is_fine(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def narrow_is_fine(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None
+
+
+def suppressed_capture(fn, errors):
+    try:
+        return fn()
+    except Exception as exc:  # qf: broad-except
+        errors.append(exc)
+        return None

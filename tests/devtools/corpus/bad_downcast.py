@@ -1,0 +1,30 @@
+"""QF006 corpus — silent dtype downcasts (never imported)."""
+import numpy as np
+
+
+def float32_scalar():
+    return np.float32(1.0)
+
+
+def float32_alloc():
+    return np.zeros(3, dtype=np.float32)
+
+
+def float32_string_alloc():
+    return np.zeros(3, dtype="float32")
+
+
+def astype_downcast(x):
+    return x.astype(np.float32)
+
+
+def complex64_scalar():
+    return np.complex64(1.0 + 2.0j)
+
+
+def float64_is_fine(x):
+    return x.astype(np.float64)
+
+
+def int_cast_is_fine(x):
+    return x.astype(int)

@@ -1,0 +1,34 @@
+"""QF002 corpus — malformed np.einsum subscripts (never imported)."""
+import numpy as np
+
+
+def output_label_not_in_inputs(a, b):
+    return np.einsum("ab,bc->ad", a, b)
+
+
+def operand_count_mismatch(a):
+    return np.einsum("ab,bc->ac", a)
+
+
+def repeated_output_label(a, b):
+    return np.einsum("ab,bc->aa", a, b)
+
+
+def invalid_characters(a, b):
+    return np.einsum("a1,1c->ac", a, b)
+
+
+def non_literal_subscripts(spec, a):
+    return np.einsum(spec, a)
+
+
+def valid_contraction_is_fine(a, b):
+    return np.einsum("ab,bc->ca", a, b)
+
+
+def valid_implicit_output_is_fine(a, b):
+    return np.einsum("ab,ab", a, b)
+
+
+def valid_ellipsis_is_fine(a):
+    return np.einsum("...ab->...ba", a)

@@ -1,0 +1,19 @@
+"""QF001 corpus — float equality against literals (never imported)."""
+
+
+def screen(value):
+    if value == 0.0:
+        return True
+    return value != 1.5
+
+
+def integer_equality_is_fine(count):
+    return count == 0
+
+
+def tolerance_is_fine(value):
+    return abs(value) < 1e-12
+
+
+def suppressed_guard(value):
+    return value == 0.0  # qf: exact-zero

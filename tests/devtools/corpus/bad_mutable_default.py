@@ -1,0 +1,21 @@
+"""QF003 corpus — mutable default arguments (never imported)."""
+
+
+def list_default(tasks=[]):
+    return tasks
+
+
+def dict_default(cache={}):
+    return cache
+
+
+def constructor_default(pool=list()):
+    return pool
+
+
+def kwonly_set_default(*, seen={1}):
+    return seen
+
+
+def none_default_is_fine(tasks=None):
+    return tasks or []

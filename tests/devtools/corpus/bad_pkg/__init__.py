@@ -1,0 +1,7 @@
+"""QF007 corpus — public package __init__ without __all__."""
+
+from math import pi
+
+
+def public_helper():
+    return pi

@@ -1,0 +1,22 @@
+"""QF005 corpus — unseeded / global-state RNG (never imported)."""
+import numpy as np
+
+
+def legacy_global_rand():
+    return np.random.rand(3)
+
+
+def legacy_global_seed():
+    np.random.seed(0)
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def seeded_generator_is_fine():
+    return np.random.default_rng(7)
+
+
+def threaded_generator_is_fine(rng):
+    return rng.normal(size=3)

@@ -1,0 +1,21 @@
+"""Known-good corpus file — the linter must report nothing here."""
+import numpy as np
+
+__all__ = ["overlap_like", "jitter"]
+
+TOLERANCE = 1.0e-10
+
+
+def overlap_like(a, b):
+    s = np.einsum("ab,bc->ac", a, b)
+    return 0.5 * (s + s.T)
+
+
+def jitter(n, seed=0, rng=None):
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return rng.normal(size=n).astype(np.float64)
+
+
+def converged(delta):
+    return abs(delta) < TOLERANCE

@@ -1,0 +1,29 @@
+"""Known-good corpus file — every violation carries a suppression.
+
+Also exercises the file-level form: QF006 is disabled for the whole
+file below.
+"""
+# qf-file: dtype-downcast
+import numpy as np
+
+
+def exact_zero_guard(value):
+    if value == 0.0:  # qf: exact-zero
+        return 0.0
+    return 1.0 / value
+
+
+def reported_capture(fn, errors):
+    try:
+        return fn()
+    except Exception as exc:  # qf: broad-except
+        errors.append(exc)
+        return None
+
+
+def file_level_suppression():
+    return np.zeros(3, dtype=np.float32)
+
+
+def code_form_suppression(a):
+    return np.einsum(a + "->", np.ones(2))  # qf: QF002

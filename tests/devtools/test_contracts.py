@@ -1,0 +1,174 @@
+"""Runtime sanitizer: contracts fire under QF_SANITIZE, no-op otherwise."""
+
+import numpy as np
+import pytest
+
+from repro.devtools.contracts import (
+    ContractViolation,
+    array_contract,
+    check_array,
+    check_response,
+    determinism_check_enabled,
+    digests_match,
+    response_digest,
+    sanitize,
+    sanitize_enabled,
+)
+from repro.dfpt.hessian import FragmentResponse
+from repro.geometry import water_molecule
+
+
+def _response(hessian=None, dalpha=None):
+    geom = water_molecule()
+    n3 = 3 * geom.natoms
+    if hessian is None:
+        hessian = np.eye(n3)
+    if dalpha is None:
+        dalpha = np.zeros((n3, 3, 3))
+    return FragmentResponse(
+        geometry=geom, energy=-75.0, hessian=hessian, dalpha_dr=dalpha,
+        alpha=np.eye(3), gradient=np.zeros((geom.natoms, 3)),
+    )
+
+
+# -- enable/disable semantics ---------------------------------------------
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("QF_SANITIZE", raising=False)
+    assert not sanitize_enabled()
+    # a blatant violation passes silently when the sanitizer is off
+    bad = np.full((3, 3), np.nan)
+    assert check_array("bad", bad) is bad
+    assert check_response(_response(hessian=np.full((9, 9), np.nan))) is not None
+
+
+def test_env_toggle(monkeypatch):
+    for val in ("1", "true", "YES", "on"):
+        monkeypatch.setenv("QF_SANITIZE", val)
+        assert sanitize_enabled()
+    for val in ("0", "", "off", "no"):
+        monkeypatch.setenv("QF_SANITIZE", val)
+        assert not sanitize_enabled()
+
+
+def test_context_manager_overrides_env(monkeypatch):
+    monkeypatch.delenv("QF_SANITIZE", raising=False)
+    with sanitize():
+        assert sanitize_enabled()
+        with sanitize(False):        # nested mask
+            assert not sanitize_enabled()
+        assert sanitize_enabled()
+    assert not sanitize_enabled()
+    monkeypatch.setenv("QF_SANITIZE", "1")
+    with sanitize(False):
+        assert not sanitize_enabled()
+
+
+def test_determinism_mode_requires_both_flags(monkeypatch):
+    monkeypatch.delenv("QF_SANITIZE", raising=False)
+    monkeypatch.setenv("QF_SANITIZE_DETERMINISM", "1")
+    assert not determinism_check_enabled()
+    monkeypatch.setenv("QF_SANITIZE", "1")
+    assert determinism_check_enabled()
+    monkeypatch.delenv("QF_SANITIZE_DETERMINISM")
+    assert not determinism_check_enabled()
+
+
+# -- check_array ----------------------------------------------------------
+
+def test_finite_violation():
+    arr = np.ones(4)
+    arr[2] = np.nan
+    with pytest.raises(ContractViolation, match="non-finite"):
+        check_array("resp_density", arr, force=True)
+
+
+def test_symmetry_violation_and_context():
+    a = np.eye(3)
+    a[0, 1] = 1.0e-3
+    with pytest.raises(ContractViolation) as exc:
+        check_array("hessian", a, symmetric=True, force=True,
+                    context="fragment=water-3 phase=process")
+    err = exc.value
+    assert err.rule == "symmetric"
+    assert err.name == "hessian"
+    assert "fragment=water-3" in str(err)
+
+
+def test_symmetry_tolerance_is_relative():
+    # 1e-7 absolute asymmetry on an O(1e3) tensor is physical noise
+    a = np.full((2, 2), 1.0e3)
+    a[0, 1] += 1.0e-7
+    check_array("big", a, symmetric=True, atol=1.0e-8, force=True)
+
+
+def test_shape_and_dtype_violations():
+    with pytest.raises(ContractViolation, match="shape"):
+        check_array("alpha", np.zeros((3, 2)), shape=(3, 3), force=True)
+    check_array("alpha", np.zeros((5, 3)), shape=(None, 3), force=True)
+    with pytest.raises(ContractViolation, match="dtype"):
+        check_array("x", np.zeros(3, dtype=np.float32), dtype=np.float64,
+                    force=True)
+
+
+def test_none_array_violation():
+    with pytest.raises(ContractViolation, match="None"):
+        check_array("missing", None, force=True)
+
+
+# -- decorator ------------------------------------------------------------
+
+def test_array_contract_decorator(monkeypatch):
+    calls = []
+
+    @array_contract(symmetric=True, name="toy.t")
+    def make(sym=True):
+        calls.append(1)
+        t = np.arange(9.0).reshape(3, 3)
+        return 0.5 * (t + t.T) if sym else t
+
+    monkeypatch.delenv("QF_SANITIZE", raising=False)
+    make(sym=False)                      # disabled: no check, no raise
+    with sanitize():
+        make(sym=True)
+        with pytest.raises(ContractViolation, match="asymmetric"):
+            make(sym=False)
+    assert len(calls) == 3
+
+
+# -- fragment-level composite ---------------------------------------------
+
+def test_asymmetric_hessian_raises_only_when_sanitizing(monkeypatch):
+    bad = np.eye(9)
+    bad[0, 3] = 0.5                     # deliberately asymmetrized
+    resp = _response(hessian=bad)
+    monkeypatch.delenv("QF_SANITIZE", raising=False)
+    assert check_response(resp, label="water-0") is resp   # silent
+    monkeypatch.setenv("QF_SANITIZE", "1")
+    with pytest.raises(ContractViolation) as exc:
+        check_response(resp, label="water-0", phase="process")
+    assert "fragment=water-0" in str(exc.value)
+    assert "phase=process" in str(exc.value)
+
+
+def test_nan_response_density_raises_only_when_sanitizing(monkeypatch):
+    dalpha = np.zeros((9, 3, 3))
+    dalpha[4, 1, 2] = np.nan            # NaN-injected response quantity
+    resp = _response(dalpha=dalpha)
+    monkeypatch.delenv("QF_SANITIZE", raising=False)
+    assert check_response(resp, label="water-1") is resp   # silent
+    with sanitize():
+        with pytest.raises(ContractViolation, match="non-finite"):
+            check_response(resp, label="water-1")
+
+
+# -- digests --------------------------------------------------------------
+
+def test_response_digest_stability_and_sensitivity():
+    a = _response()
+    b = _response()
+    assert response_digest(a) == response_digest(b)
+    assert digests_match(a, b)
+    b.hessian = b.hessian.copy()
+    b.hessian[0, 0] += 1.0e-15          # any bit flip must show
+    assert not digests_match(a, b)

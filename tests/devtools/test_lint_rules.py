@@ -1,0 +1,163 @@
+"""The lint rule corpus: exact codes and line numbers per fixture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    LintError,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+EXPECTED = {
+    "bad_float_eq.py": {("QF001", 5), ("QF001", 7)},
+    "bad_einsum.py": {("QF002", 6), ("QF002", 10), ("QF002", 14),
+                      ("QF002", 18), ("QF002", 22)},
+    "bad_mutable_default.py": {("QF003", 4), ("QF003", 8), ("QF003", 12),
+                               ("QF003", 16)},
+    "bad_broad_except.py": {("QF004", 7), ("QF004", 14)},
+    "bad_unseeded_rng.py": {("QF005", 6), ("QF005", 10), ("QF005", 14)},
+    "bad_downcast.py": {("QF006", 6), ("QF006", 10), ("QF006", 14),
+                        ("QF006", 18), ("QF006", 22)},
+    "bad_pkg/__init__.py": {("QF007", 1)},
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_bad_corpus_exact_findings(name):
+    path = CORPUS / name
+    findings = lint_source(path.read_text(), path=str(path))
+    assert {(f.code, f.line) for f in findings} == EXPECTED[name]
+
+
+@pytest.mark.parametrize("name", ["good_clean.py", "good_suppressed.py"])
+def test_good_corpus_is_clean(name):
+    path = CORPUS / name
+    assert lint_source(path.read_text(), path=str(path)) == []
+
+
+def test_suppressed_findings_still_visible_on_request():
+    path = CORPUS / "good_suppressed.py"
+    findings = lint_source(path.read_text(), path=str(path),
+                           include_suppressed=True)
+    assert {f.code for f in findings} >= {"QF001", "QF002", "QF004", "QF006"}
+
+
+def test_whole_corpus_via_lint_paths():
+    findings = lint_paths([CORPUS])
+    got = {(Path(f.path).name, f.code) for f in findings}
+    want = {(Path(n).name, code)
+            for n, pairs in EXPECTED.items() for code, _ in pairs}
+    assert got == want
+
+
+def test_select_filters_rules():
+    findings = lint_paths([CORPUS], select={"QF005"})
+    assert findings and all(f.code == "QF005" for f in findings)
+
+
+def test_finding_str_is_greppable():
+    f = lint_paths([CORPUS / "bad_float_eq.py"])[0]
+    assert str(f).startswith(f"{CORPUS / 'bad_float_eq.py'}:5:")
+    assert "QF001" in str(f)
+
+
+# -- suppression semantics ------------------------------------------------
+
+def test_line_suppression_by_alias_and_code():
+    src = "x = 1.0\nok = x == 0.0  # qf: exact-zero\nbad = x == 2.0\n"
+    findings = lint_source(src)
+    assert [(f.code, f.line) for f in findings] == [("QF001", 3)]
+    src2 = "x = 1.0\nok = x == 0.0  # qf: QF001\n"
+    assert lint_source(src2) == []
+
+
+def test_file_level_suppression():
+    src = "# qf-file: exact-zero\nx = 1.0\nbad = x == 0.0\n"
+    assert lint_source(src) == []
+
+
+def test_suppression_all_tag():
+    src = "import numpy as np\nr = np.random.rand(3)  # qf: all\n"
+    assert lint_source(src) == []
+
+
+def test_unknown_tag_does_not_suppress():
+    src = "x = 1.0\nbad = x == 0.0  # qf: tyop\n"
+    assert [f.code for f in lint_source(src)] == ["QF001"]
+
+
+# -- einsum rule details --------------------------------------------------
+
+@pytest.mark.parametrize("spec,n_args,ok", [
+    ("ab,bc->ac", 2, True),
+    ("xab,ab->x", 2, True),
+    ("abcd,cd->ab", 2, True),
+    ("acbd,cd->ab", 2, True),
+    ("ab,bc->ac", 1, False),          # operand count
+    ("ab,bc->ad", 2, False),          # output label missing
+    ("ab->aa", 1, False),             # repeated output label
+    ("ab->ba->ab", 1, False),         # double arrow
+    ("a1->a", 1, False),              # invalid character
+])
+def test_einsum_specs(spec, n_args, ok):
+    args = ", ".join(f"m{i}" for i in range(n_args))
+    src = f"import numpy as np\ndef f({args}):\n    return np.einsum({spec!r}, {args})\n"
+    findings = lint_source(src)
+    assert (findings == []) is ok, [str(f) for f in findings]
+
+
+def test_einsum_starred_args_skip_operand_count():
+    src = ("import numpy as np\n"
+           "def f(ops):\n"
+           "    return np.einsum('ab,bc->ac', *ops)\n")
+    assert lint_source(src) == []
+
+
+# -- QF007 details --------------------------------------------------------
+
+def test_trivial_init_not_flagged():
+    assert lint_source("", path="pkg/__init__.py") == []
+    assert lint_source('"""marker."""\n', path="pkg/__init__.py") == []
+
+
+def test_non_init_module_never_flagged_qf007():
+    src = "import math\n"
+    assert lint_source(src, path="pkg/module.py") == []
+
+
+# -- CLI ------------------------------------------------------------------
+
+def test_cli_exit_codes(capsys, tmp_path):
+    assert main([str(CORPUS / "good_clean.py")]) == 0
+    assert main([str(CORPUS)]) == 1
+    out = capsys.readouterr().out
+    assert "QF001" in out and "bad_float_eq.py:5" in out
+
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert main([str(broken)]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("QF001", "QF007"):
+        assert code in out
+
+
+def test_cli_select(capsys):
+    assert main([str(CORPUS), "--select", "unseeded-rng"]) == 1
+    out = capsys.readouterr().out
+    assert "QF005" in out and "QF001" not in out
+
+
+def test_syntax_error_raises_lint_error(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def (:\n")
+    with pytest.raises(LintError):
+        lint_paths([bad])

@@ -1,0 +1,19 @@
+"""Tier-1 regression gate: the shipped src/ tree must lint clean.
+
+A new unsuppressed finding in ``src/repro`` fails the normal test run —
+the same zero-findings bar the CI lint session enforces. Intentional
+violations must carry a ``# qf: <rule>`` suppression (see
+docs/static_analysis.md), which keeps every exception reviewable.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_tree_has_no_unsuppressed_findings():
+    assert SRC.is_dir(), SRC
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + "\n".join(str(f) for f in findings)

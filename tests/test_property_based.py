@@ -74,10 +74,17 @@ def test_lanczos_quadrature_weights_nonnegative(n, k, seed):
         assert w.sum() == (d @ d) * (1 + 1e-9) or abs(
             w.sum() - d @ d
         ) < 1e-6 * max(1.0, d @ d)
-        # nodes inside the spectrum interval (Gauss property) with slack
+        # nodes inside the spectrum interval (Gauss property). The
+        # averaged (anti-Gauss-like) rule may place its extreme nodes
+        # slightly *outside* the spectrum; that overshoot scales with
+        # the spectral width, so the slack must too (an absolute 0.5
+        # was occasionally exceeded for wide random spectra).
         evals = np.linalg.eigvalsh(h)
-        assert theta.min() > evals.min() - 1e-6 - 0.5 * (averaged)
-        assert theta.max() < evals.max() + 1e-6 + 0.5 * (averaged)
+        slack = 1e-6
+        if averaged:
+            slack += 0.25 * float(evals.max() - evals.min())
+        assert theta.min() > evals.min() - slack
+        assert theta.max() < evals.max() + slack
 
 
 @settings(deadline=None, max_examples=20)
