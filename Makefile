@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test test-all sanitize-smoke
+.PHONY: lint test test-all sanitize-smoke trace-demo
 
 # QF physics-aware linter (docs/static_analysis.md); fails on any new
 # unsuppressed finding — the same zero-findings bar the tier-1 test
@@ -23,3 +23,12 @@ test-all:
 # quick end-to-end proof that the runtime sanitizer is wired through
 sanitize-smoke:
 	QF_SANITIZE=1 $(PYTHON) -m repro water-raman --n 1 --verbose
+
+# Perfetto-loadable span trace of a small water-cluster run, plus the
+# terminal view of the same file (docs/observability.md)
+trace-demo:
+	$(PYTHON) -m repro water-raman --n 2 --solver dense \
+		--trace trace-demo.json --metrics trace-demo.prom \
+		--manifest trace-demo.manifest.json
+	$(PYTHON) -m repro obs view trace-demo.json
+	@echo "open https://ui.perfetto.dev and load trace-demo.json"

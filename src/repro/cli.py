@@ -30,6 +30,54 @@ def _apply_sanitize(args) -> None:
         os.environ["QF_SANITIZE"] = "1"
 
 
+def _setup_obs(args):
+    """Install a live tracer when any telemetry output was requested.
+
+    Must run *before* the pipeline (and any worker pool) is built so
+    ``QF_TRACE`` is inherited by forked workers. Returns the tracer or
+    None when no --trace/--metrics/--manifest flag was given.
+    """
+    wants = any(
+        getattr(args, name, None) for name in ("trace", "metrics", "manifest")
+    )
+    if not wants:
+        return None
+    from repro.obs import enable_tracing, reset_counters
+
+    reset_counters()
+    return enable_tracing()
+
+
+def _finish_obs(args, tracer, result, command: str, config: dict) -> None:
+    """Write the requested telemetry files after a pipeline run."""
+    if tracer is None:
+        return
+    from repro.obs import (
+        collect_manifest,
+        counters,
+        disable_tracing,
+        write_metrics,
+        write_trace,
+    )
+
+    if args.trace:
+        path = write_trace(tracer.records, args.trace, counters=counters())
+        print(f"trace written to {path}")
+    if args.metrics:
+        path = write_metrics(args.metrics, counters=counters(),
+                             records=tracer.records, timer=result.timer)
+        print(f"metrics written to {path}")
+    if args.manifest:
+        manifest = collect_manifest(
+            command=command, config=config,
+            seeds={"seed": getattr(args, "seed", None)},
+            timer=result.timer, throughput=result.throughput,
+        )
+        manifest.write(args.manifest)
+        print(f"manifest written to {args.manifest}")
+    disable_tracing()
+
+
 def _cmd_water_raman(args) -> int:
     from repro.analysis import WATER_BANDS, band_assignment
     from repro.analysis.reference import RHF_STO3G_FREQUENCY_SCALE
@@ -37,6 +85,7 @@ def _cmd_water_raman(args) -> int:
     from repro.pipeline import QFRamanPipeline
 
     _apply_sanitize(args)
+    tracer = _setup_obs(args)
     pipe = QFRamanPipeline(
         waters=water_box(args.n, seed=args.seed), relax_waters=True,
         verbose=args.verbose,
@@ -45,6 +94,10 @@ def _cmd_water_raman(args) -> int:
     omega = np.linspace(200, 5200, 1000)
     result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
                       solver=args.solver)
+    _finish_obs(args, tracer, result, command="water-raman", config={
+        "n": args.n, "sigma": args.sigma, "solver": args.solver,
+        "executor": args.executor, "workers": args.workers,
+    })
     sp = result.spectrum.normalized()
     print(f"pieces: {result.decomposition.counts} "
           f"(unique: {result.unique_pieces})")
@@ -72,6 +125,7 @@ def _cmd_peptide_raman(args) -> int:
     from repro.scf.optimize import optimize_geometry
 
     _apply_sanitize(args)
+    tracer = _setup_obs(args)
     geom, residues = build_polypeptide(args.sequence)
     opt = optimize_geometry(geom, eri_mode="df")
     pipe = QFRamanPipeline(protein=opt.geometry, residues=residues,
@@ -80,6 +134,11 @@ def _cmd_peptide_raman(args) -> int:
     omega = np.linspace(200, 5200, 1200)
     result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
                       solver=args.solver)
+    _finish_obs(args, tracer, result, command="peptide-raman", config={
+        "sequence": list(args.sequence), "sigma": args.sigma,
+        "solver": args.solver, "executor": args.executor,
+        "workers": args.workers,
+    })
     sp = result.spectrum.normalized()
     if result.throughput is not None:
         print(result.throughput.summary())
@@ -109,9 +168,17 @@ def _cmd_simulate(args) -> int:
     sizes = np.concatenate([frag, caps, gcs])
     cm = calibrate_to_throughput(sizes, 93.2, args.nodes[0],
                                  machine.workers_per_leader)
+    recorder = None
+    if args.trace:
+        from repro.hpc.tracing import TraceRecorder
+
+        recorder = TraceRecorder()
     base = None
     for n in args.nodes:
-        rep = simulate_qf_run(machine, n, sizes, cm, seed=0, job_noise=0.02)
+        # only the first node count is traced — one Gantt per file
+        trace = recorder if n == args.nodes[0] else None
+        rep = simulate_qf_run(machine, n, sizes, cm, seed=0, job_noise=0.02,
+                              trace=trace)
         lo, hi = rep.time_variation()
         eff = ""
         if base is None:
@@ -120,6 +187,19 @@ def _cmd_simulate(args) -> int:
             eff = (f"  eff {100 * base.makespan * args.nodes[0] / (rep.makespan * n):5.1f}%")
         print(f"{machine.name} {n:>6} nodes: {rep.throughput:9.1f} frag/s"
               f"  var ({lo:+.1f}, {hi:+.1f})%{eff}")
+    if recorder is not None:
+        from repro.obs.export import write_trace
+
+        path = write_trace(recorder.to_spans(), args.trace)
+        print(f"trace written to {path} ({len(recorder.intervals)} "
+              f"task intervals, {args.nodes[0]} nodes)")
+    return 0
+
+
+def _cmd_obs_view(args) -> int:
+    from repro.obs.view import render
+
+    print(render(args.file, width=args.width))
     return 0
 
 
@@ -174,6 +254,20 @@ def main(argv: list[str] | None = None) -> int:
             help="enable the runtime numerical sanitizer "
                  "(= QF_SANITIZE=1; see docs/static_analysis.md)",
         )
+        p.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="write a span trace (.json = Chrome/Perfetto trace, "
+                 ".jsonl = event log; see docs/observability.md)",
+        )
+        p.add_argument(
+            "--metrics", default=None, metavar="FILE",
+            help="write Prometheus-style text metrics after the run",
+        )
+        p.add_argument(
+            "--manifest", default=None, metavar="FILE",
+            help="write a JSON run manifest (config, versions, git SHA, "
+                 "counters, per-phase walls)",
+        )
 
     p = sub.add_parser("water-raman", help="Raman spectrum of a water box")
     p.add_argument("--n", type=int, default=4)
@@ -198,7 +292,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--machine", choices=("ORISE", "SUNWAY", "orise", "sunway"),
                    default="ORISE")
     p.add_argument("--nodes", type=int, nargs="+", default=[750, 1500, 3000])
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write the first node count's task intervals as a "
+                        "Chrome/Perfetto trace")
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("obs", help="inspect exported run telemetry")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pv = obs_sub.add_parser("view", help="per-phase summary + flamegraph "
+                                         "of an exported trace")
+    pv.add_argument("file", help="trace file (.json or .jsonl)")
+    pv.add_argument("--width", type=int, default=40,
+                    help="flamegraph bar width in characters")
+    pv.set_defaults(fn=_cmd_obs_view)
 
     p = sub.add_parser("counts", help="full-scale decomposition statistics")
     p.add_argument("--residues", type=int, default=3180)

@@ -35,6 +35,14 @@ QF006 dtype-downcast     ``np.float32`` / ``np.float16`` /
 QF007 missing-all        A non-trivial package ``__init__.py`` without
                          ``__all__`` — the public API boundary must be
                          explicit.
+QF008 raw-clock          Direct ``time.perf_counter()`` /
+                         ``perf_counter_ns()`` calls outside the
+                         sanctioned timing layers
+                         (:mod:`repro.utils.timing`, :mod:`repro.obs`).
+                         Ad-hoc clock reads bypass the Timer /
+                         Stopwatch / tracer instrumentation, so their
+                         wall time is invisible to ``phase_wall_s``,
+                         the span trace, and the run manifest.
 """
 
 from __future__ import annotations
@@ -70,6 +78,9 @@ RULES = {
     "QF005": ("unseeded-rng", "unseeded / global-state numpy RNG"),
     "QF006": ("dtype-downcast", "silent dtype downcast below float64"),
     "QF007": ("missing-all", "public package __init__ without __all__"),
+    "QF008": ("raw-clock",
+              "direct perf_counter call outside repro.utils.timing / "
+              "repro.obs"),
 }
 
 #: alias -> code (suppression comments accept either form)
@@ -81,6 +92,14 @@ _LEGACY_RNG_ALLOWED = {
 }
 _DOWNCAST_NAMES = {"float32", "float16", "complex64"}
 _MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
+_RAW_CLOCK_NAMES = {"perf_counter", "perf_counter_ns"}
+#: path fragments whose files ARE the sanctioned timing layer
+_RAW_CLOCK_EXEMPT = ("utils/timing.py", "repro/obs/")
+
+
+def _raw_clock_exempt(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    return any(frag in norm for frag in _RAW_CLOCK_EXEMPT)
 
 
 def _dotted(node: ast.AST) -> str:
@@ -231,6 +250,7 @@ class RuleVisitor(ast.NodeVisitor):
         self._check_einsum(node)
         self._check_rng(node)
         self._check_downcast_call(node)
+        self._check_raw_clock(node)
         for kw in node.keywords:
             if kw.arg == "dtype" and self._is_downcast_value(kw.value):
                 self._emit(
@@ -305,6 +325,28 @@ class RuleVisitor(ast.NodeVisitor):
             self._emit(
                 node, "QF006",
                 "astype to a sub-float64 dtype loses precision silently",
+            )
+
+    # -- QF008: raw clock reads --------------------------------------------
+
+    def _check_raw_clock(self, node: ast.Call) -> None:
+        if _raw_clock_exempt(self.path):
+            return
+        dotted = _dotted(node.func)
+        if not dotted:
+            return
+        parts = dotted.split(".")
+        # `time.perf_counter()` or a bare `perf_counter()` from-import
+        hit = parts[-1] in _RAW_CLOCK_NAMES and (
+            len(parts) == 1 or parts[0] == "time"
+        )
+        if hit:
+            self._emit(
+                node, "QF008",
+                f"direct '{dotted}()' call — use Timer/Stopwatch from "
+                "repro.utils.timing or a tracer span so the wall time "
+                "reaches phase_wall_s and the trace; annotate true "
+                "exceptions with '# qf: raw-clock'",
             )
 
     # -- QF007: missing __all__ --------------------------------------------

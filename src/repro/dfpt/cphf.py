@@ -34,6 +34,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.devtools.contracts import check_array, sanitize_enabled
+from repro.obs.counters import counters
+from repro.obs.tracer import get_tracer
 from repro.scf.rhf import SCFResult
 from repro.utils.flops import FlopCounter, gemm_flops
 from repro.utils.timing import Timer
@@ -83,21 +85,22 @@ class CPHF:
         scf = self.scf
         nbf = p1.shape[0]
         xc = scf.extras.get("xc")
-        with self.timer.section("n1r+poisson"):
+        tracer = get_tracer()
+        with self.timer.section("n1r+poisson"), tracer.span("dfpt.n1r_poisson"):
             if scf.eri is not None:
                 j = np.einsum("abcd,cd->ab", scf.eri, p1)
             else:
                 j = scf.df.coulomb(p1)
             self.flops.add("n1r", gemm_flops(nbf, nbf, nbf))
         if xc is not None:
-            with self.timer.section("h1"):
+            with self.timer.section("h1"), tracer.span("dfpt.h1"):
                 chi = xc["chi"]
                 n1 = np.einsum("pm,pm->p", chi @ p1, chi)
                 wf = xc["grid"].weights * xc["fxc"] * n1
                 vxc1 = (chi * wf[:, None]).T @ chi
                 self.flops.add("h1", 2 * gemm_flops(chi.shape[0], nbf, nbf))
             return j + vxc1
-        with self.timer.section("h1"):
+        with self.timer.section("h1"), tracer.span("dfpt.h1"):
             k = scf.df.exchange_density(p1) if scf.eri is None else np.einsum(
                 "acbd,cd->ab", scf.eri, p1
             )
@@ -107,6 +110,19 @@ class CPHF:
     # -- solver ----------------------------------------------------------------
 
     def run(self) -> CPHFResult:
+        """Solve the three field directions; returns a :class:`CPHFResult`."""
+        with get_tracer().span(
+            "cphf", nbf=self.scf.overlap.shape[0], nocc=self.scf.nocc
+        ) as sp:
+            result = self._solve()
+            sp.set(niter=result.niter, converged=result.converged)
+        counters().inc("cphf.runs")
+        counters().inc("cphf.iterations", result.niter)
+        if not result.converged:
+            counters().inc("cphf.unconverged")
+        return result
+
+    def _solve(self) -> CPHFResult:
         scf = self.scf
         c = scf.mo_coeff
         nocc = scf.nocc
@@ -133,12 +149,13 @@ class CPHF:
         max_hist = 8
         for it in range(1, self.max_iter + 1):
             u_next = np.empty_like(u)
+            tracer = get_tracer()
             for x in range(3):
-                with self.timer.section("p1"):
+                with self.timer.section("p1"), tracer.span("dfpt.p1"):
                     xmat = c_v @ u[x] @ c_o.T
                     p1 = 2.0 * (xmat + xmat.T)
                 f1 = self._response_fock(p1)
-                with self.timer.section("p1"):
+                with self.timer.section("p1"), tracer.span("dfpt.p1"):
                     g = c_v.T @ f1 @ c_o
                     u_next[x] = -(q[x] + g) / denom
             resid = u_next - u

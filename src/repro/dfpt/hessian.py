@@ -26,6 +26,7 @@ iteration count of the base SCF — are recorded in
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, Executor, wait
 from dataclasses import dataclass, field
 
@@ -35,6 +36,8 @@ from repro.devtools.contracts import check_response
 from repro.dfpt.cphf import CPHF
 from repro.dfpt.gradient import gradient
 from repro.geometry.atoms import Geometry
+from repro.obs.counters import counters
+from repro.obs.tracer import get_tracer, telemetry_shipment
 from repro.scf.rhf import RHF, SCFResult
 from repro.utils.timing import Timer
 
@@ -72,6 +75,11 @@ class CoordinateJobResult:
     niter_plus: int
     niter_minus: int
     timings: dict = field(default_factory=dict)  # name -> (seconds, count)
+    #: telemetry captured in a pool worker (empty for in-process jobs);
+    #: ``pid`` lets the parent skip merging its own direct reports
+    spans: list = field(default_factory=list)
+    counter_delta: dict = field(default_factory=dict)
+    pid: int = 0
 
 
 def dipole_moment(scf: SCFResult) -> np.ndarray:
@@ -127,23 +135,25 @@ def coordinate_job(
     timer = Timer()
     sides = []
     guess = base_density
-    for sign in (+1.0, -1.0):
-        with timer.section("scf_displaced"):
-            res = _displaced_scf(
-                geometry, atom, axis, sign * delta, guess, scf_kwargs
-            )
-        with timer.section("gradient_displaced"):
-            g = gradient(res)
-        a = None
-        if compute_raman:
-            with timer.section("cphf_displaced"):
-                a = CPHF(res).run().alpha
-        mu = dipole_moment(res) if compute_ir else None
-        sides.append((g, a, mu, res.niter))
-        # seed the -delta run from the +delta converged density
-        guess = res.density
-        if side_done is not None:
-            side_done()
+    with telemetry_shipment() as shipment:
+        with get_tracer().span("hessian.coordinate", atom=atom, axis=axis):
+            for sign in (+1.0, -1.0):
+                with timer.section("scf_displaced"):
+                    res = _displaced_scf(
+                        geometry, atom, axis, sign * delta, guess, scf_kwargs
+                    )
+                with timer.section("gradient_displaced"):
+                    g = gradient(res)
+                a = None
+                if compute_raman:
+                    with timer.section("cphf_displaced"):
+                        a = CPHF(res).run().alpha
+                mu = dipole_moment(res) if compute_ir else None
+                sides.append((g, a, mu, res.niter))
+                # seed the -delta run from the +delta converged density
+                guess = res.density
+                if side_done is not None:
+                    side_done()
     (gp, ap, mp, np_), (gm, am, mm, nm_) = sides
     col = 3 * atom + axis
     return CoordinateJobResult(
@@ -157,6 +167,9 @@ def coordinate_job(
             name: (timer.totals[name], timer.counts[name])
             for name in timer.totals
         },
+        spans=shipment.spans,
+        counter_delta=shipment.counters,
+        pid=os.getpid(),
     )
 
 
@@ -226,37 +239,45 @@ def fragment_response(
     coords = [(atom, axis) for atom in range(n) for axis in range(3)]
 
     results: list[CoordinateJobResult] = []
-    if pool is None:
-        for atom, axis in coords:
+    tracer = get_tracer()
+    with tracer.span("hessian.displacements", ncoord=ncoord):
+        if pool is None:
+            for atom, axis in coords:
 
-            def side_done():
-                nonlocal done
-                done += 1
-                if progress is not None:
-                    progress(done, total)
+                def side_done():
+                    nonlocal done
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
 
-            results.append(
-                coordinate_job(
-                    geometry, atom, axis, delta, base.density, scf_kwargs,
-                    compute_raman, compute_ir, side_done=side_done,
+                results.append(
+                    coordinate_job(
+                        geometry, atom, axis, delta, base.density, scf_kwargs,
+                        compute_raman, compute_ir, side_done=side_done,
+                    )
                 )
-            )
-    else:
-        pending = {
-            pool.submit(
-                coordinate_job, geometry, atom, axis, delta, base.density,
-                scf_kwargs, compute_raman, compute_ir,
-            )
-            for atom, axis in coords
-        }
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                results.append(fut.result())  # re-raises worker errors
-                done += 2
-                if progress is not None:
-                    progress(done, total)
+        else:
+            pending = {
+                pool.submit(
+                    coordinate_job, geometry, atom, axis, delta, base.density,
+                    scf_kwargs, compute_raman, compute_ir,
+                )
+                for atom, axis in coords
+            }
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    res = fut.result()  # re-raises worker errors
+                    if res.pid != os.getpid():
+                        # telemetry captured inside the pool worker
+                        tracer.adopt(res.spans)
+                        counters().merge(res.counter_delta)
+                    results.append(res)
+                    done += 2
+                    if progress is not None:
+                        progress(done, total)
 
+    counters().inc("hessian.coordinate_jobs", len(results))
     iters_plus = 0
     iters_minus = 0
     for res in results:
@@ -295,6 +316,7 @@ def fragment_response(
             - (iters_plus + iters_minus),
         },
     )
+    counters().inc("scf.iters_saved", resp.meta["scf_iters_saved"])
     # no-op unless QF_SANITIZE is set; the executor re-checks with the
     # fragment label attached, this guards direct library callers
     return check_response(resp, phase="fragment_response")

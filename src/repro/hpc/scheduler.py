@@ -78,6 +78,7 @@ def simulate_qf_run(
     straggler_prob: float = 0.0,
     straggler_factor: float = 20.0,
     timeout_factor: float = 6.0,
+    trace=None,
 ) -> SchedulerReport:
     """Simulate one QF-RAMAN production run.
 
@@ -109,6 +110,11 @@ def simulate_qf_run(
         ``straggler_factor``x slower; the master detects tasks exceeding
         ``timeout_factor`` times their expected duration and re-issues
         the work to another leader (first completion wins).
+    trace:
+        Optional :class:`repro.hpc.tracing.TraceRecorder`: every task
+        execution interval (including speculative reissues) is recorded
+        as it completes. Small runs only — tracing every task at paper
+        scale would dominate memory.
     """
     if n_nodes > machine.total_nodes:
         raise ValueError(f"{machine.name}: {n_nodes} > {machine.total_nodes} nodes")
@@ -138,6 +144,11 @@ def simulate_qf_run(
             leader = rank % n_nodes
             noise = rng.lognormal(0.0, job_noise)
             dt = leader_costs[f] * node_speed[leader] * noise
+            if trace is not None:
+                # statically partitioned leaders run their share back
+                # to back, so intervals stack at the current busy mark
+                trace.record(leader, float(busy[leader]),
+                             float(busy[leader] + dt), 1)
             busy[leader] += dt
             ntasks[leader] += 1
         finish = busy.copy()
@@ -205,6 +216,9 @@ def simulate_qf_run(
                 busy[leader] += duration
                 finish[leader] = max(finish[leader], sim.now)
                 ntasks[leader] += 1
+                if trace is not None:
+                    trace.record(leader, start_exec, sim.now,
+                                 tcosts.size, reissue=not fresh)
                 first = tid not in task_done
                 task_done.add(tid)
                 if first:

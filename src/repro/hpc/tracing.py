@@ -48,6 +48,28 @@ class TraceRecorder:
             return 0.0
         return total / (n_leaders * span)
 
+    def to_spans(self) -> list:
+        """The intervals as :class:`repro.obs.tracer.SpanRecord` objects
+        (one synthetic "pid" per machine, leaders as threads), so the
+        scheduler trace feeds the same exporters as the pipeline trace
+        — ``repro.obs.export.write_trace(recorder.to_spans(), path)``
+        produces a Perfetto-loadable file."""
+        from repro.obs.tracer import SpanRecord
+
+        return [
+            SpanRecord(
+                name="reissue" if iv.reissue else "task",
+                path=f"leader-{iv.leader}/task",
+                ts=iv.start,
+                dur=iv.end - iv.start,
+                pid=0,
+                tid=iv.leader,
+                attrs={"n_fragments": iv.n_fragments,
+                       "reissue": iv.reissue},
+            )
+            for iv in self.intervals
+        ]
+
     def gantt(self, n_leaders: int, width: int = 72) -> str:
         """Text Gantt chart: one row per leader, '#' executing, '.' idle,
         'R' a re-issued (speculative) task."""
@@ -72,24 +94,18 @@ class TraceRecorder:
 
 def traced_simulation(machine, n_nodes, fragment_sizes, cost_model,
                       **kwargs):
-    """Run :func:`repro.hpc.scheduler.simulate_qf_run` while recording a
-    trace (via a lightweight monkey-level wrapper around the report's
-    busy bookkeeping — small runs only; tracing every task at paper
-    scale would dominate memory)."""
-    from repro.hpc import scheduler as sched
+    """Run :func:`repro.hpc.scheduler.simulate_qf_run` with a
+    :class:`TraceRecorder` attached; returns ``(report, recorder)``.
+
+    The scheduler records every real task execution interval as it
+    completes — including speculative reissues in fault-tolerant mode —
+    so the Gantt chart shows actual occupancy, not a reconstruction.
+    Small runs only; tracing every task at paper scale would dominate
+    memory.
+    """
+    from repro.hpc.scheduler import simulate_qf_run
 
     recorder = TraceRecorder()
-    orig = sched.simulate_qf_run
-
-    # run the original but reconstruct intervals from per-task events:
-    # we wrap the cost model so each task's (leader, duration) is seen.
-    report = orig(machine, n_nodes, fragment_sizes, cost_model, **kwargs)
-    # reconstruct approximate intervals from busy/finish times when the
-    # scheduler is not trace-aware: one synthetic interval per leader
-    for leader in range(n_nodes):
-        busy = float(report.busy_times[leader])
-        end = float(report.finish_times[leader])
-        if busy > 0:
-            recorder.record(leader, max(0.0, end - busy), end,
-                            int(report.tasks_assigned[leader]))
+    report = simulate_qf_run(machine, n_nodes, fragment_sizes, cost_model,
+                             trace=recorder, **kwargs)
     return report, recorder

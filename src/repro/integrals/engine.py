@@ -30,6 +30,8 @@ import numpy as np
 from scipy.special import gammainc, gammaln
 
 from repro.basis.gaussian import BasisSet, Shell
+from repro.obs.counters import counters
+from repro.obs.tracer import get_tracer
 
 
 # ---------------------------------------------------------------------------
@@ -671,14 +673,18 @@ class IntegralEngine:
         cut = self.schwarz_cutoff
         if cut > 0.0 and q_bra is not None and q_ket is not None:
             stats = self.screen_stats
-            stats["pair_combinations_total"] += bra.npair * ket.npair
+            n_total = bra.npair * ket.npair
+            stats["pair_combinations_total"] += n_total
             keep_b = np.nonzero(q_bra * q_ket.max(initial=0.0) >= cut)[0]
             keep_k = np.nonzero(q_ket * q_bra.max(initial=0.0) >= cut)[0]
             n_eval = keep_b.size * keep_k.size
             stats["pair_combinations_evaluated"] += n_eval
-            stats["pair_combinations_screened"] += (
-                bra.npair * ket.npair - n_eval
-            )
+            stats["pair_combinations_screened"] += n_total - n_eval
+            # mirror the per-engine stats into the run-wide registry
+            reg = counters()
+            reg.inc("eri.pair_combinations_total", n_total)
+            reg.inc("eri.pair_combinations_evaluated", n_eval)
+            reg.inc("eri.pair_combinations_screened", n_total - n_eval)
             if n_eval == 0:
                 return np.zeros((bra.npair, na, nb_, ket.npair, nc, nd))
             if keep_b.size < bra.npair or keep_k.size < ket.npair:
@@ -786,18 +792,19 @@ class IntegralEngine:
         the cutoff are skipped (their entries are exact zeros).
         """
         nbf = self.nbf
-        out = np.zeros((nbf, nbf, nbf, nbf))
-        bounds = (
-            self._bounds_self() if self.schwarz_cutoff > 0.0
-            else [None] * len(self.blocks)
-        )
-        for bi, bra in enumerate(self.blocks):
-            for ki, ket in enumerate(self.blocks):
-                if ki < bi:
-                    continue
-                vals = self.coulomb_block(bra, ket, q_bra=bounds[bi],
-                                          q_ket=bounds[ki])
-                self._scatter_eri(out, bra, ket, vals)
+        with get_tracer().span("integrals.eri", nbf=nbf):
+            out = np.zeros((nbf, nbf, nbf, nbf))
+            bounds = (
+                self._bounds_self() if self.schwarz_cutoff > 0.0
+                else [None] * len(self.blocks)
+            )
+            for bi, bra in enumerate(self.blocks):
+                for ki, ket in enumerate(self.blocks):
+                    if ki < bi:
+                        continue
+                    vals = self.coulomb_block(bra, ket, q_bra=bounds[bi],
+                                              q_ket=bounds[ki])
+                    self._scatter_eri(out, bra, ket, vals)
         return out
 
     def _scatter_eri(self, out, bra: PairBlock, ket: PairBlock, vals) -> None:

@@ -1,0 +1,299 @@
+"""Span-based tracing for the QF-RAMAN pipeline.
+
+A :class:`Tracer` records nested, attributed spans::
+
+    with tracer.span("scf", natoms=3, nbf=7) as sp:
+        ...
+        sp.set(niter=12, converged=True)
+
+Instrumented code never holds a tracer — it calls :func:`get_tracer`,
+which returns the installed :class:`Tracer` or the process-wide
+:class:`NullTracer` singleton. The null tracer's ``span()`` returns a
+shared no-op context manager, so disabled tracing costs one method
+call and one ``with`` frame — there are no ``if traced:`` branches in
+instrumented code, and results are bit-identical either way.
+
+Cross-process collection: executor workers inherit ``QF_TRACE`` (set
+by :func:`enable_tracing`), install a fresh local tracer around each
+task via :func:`telemetry_shipment`, and ship the finished records
+(plus the counter delta) back inside the task result. The parent's
+executor merges shipments with :meth:`Tracer.adopt`, which re-roots
+the worker span paths under the parent's active span so the merged
+trace reads as one tree.
+
+Timestamps are ``time.perf_counter()`` values: on Linux that is
+``CLOCK_MONOTONIC``, shared by every process on the machine, so spans
+from pool workers land on the same timeline as the parent's.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_requested",
+    "TelemetryShipment",
+    "telemetry_shipment",
+    "TRACE_ENV",
+]
+
+#: environment variable that tells (fork-inherited) worker processes
+#: to capture spans locally and ship them back with their results
+TRACE_ENV = "QF_TRACE"
+
+
+def tracing_requested() -> bool:
+    """True when the ``QF_TRACE`` environment flag is set."""
+    return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    ``ts`` is the monotonic start time in seconds, ``dur`` the elapsed
+    seconds; ``path`` is the slash-joined ancestry
+    (``"run/fragment_response/fragment/scf"``), which is what the
+    viewer's flamegraph aggregates on.
+    """
+
+    name: str
+    path: str
+    ts: float
+    dur: float
+    pid: int
+    tid: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+    @property
+    def parent(self) -> str | None:
+        head, sep, _ = self.path.rpartition("/")
+        return head if sep else None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "path": self.path, "ts": self.ts,
+            "dur": self.dur, "pid": self.pid, "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanRecord":
+        return cls(
+            name=d["name"], path=d["path"], ts=float(d["ts"]),
+            dur=float(d["dur"]), pid=int(d["pid"]), tid=int(d["tid"]),
+            attrs=dict(d.get("attrs") or {}),
+        )
+
+
+class _SpanHandle:
+    """Mutable attribute sink yielded by :meth:`Tracer.span`."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self, attrs: dict):
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (iteration counts…)."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Shared do-nothing span: context manager + attribute sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` objects with per-thread nesting."""
+
+    enabled = True
+
+    def __init__(self):
+        self.records: list[SpanRecord] = []
+        self.origin_pid = os.getpid()
+        self._stacks = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
+
+    def current_path(self) -> str:
+        """Slash path of the calling thread's open spans ('' at root)."""
+        return "/".join(self._stack())
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Record one span around the ``with`` body; yields a handle
+        whose ``set(**attrs)`` adds attributes before the span closes."""
+        stack = self._stack()
+        stack.append(name)
+        path = "/".join(stack)
+        handle = _SpanHandle(dict(attrs))
+        ts = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            dur = time.perf_counter() - ts
+            stack.pop()
+            self.records.append(SpanRecord(
+                name=name, path=path, ts=ts, dur=dur,
+                pid=os.getpid(), tid=threading.get_ident(),
+                attrs=handle.attrs,
+            ))
+
+    def adopt(self, shipped: list[dict]) -> None:
+        """Merge records shipped from a worker process, re-rooting
+        their paths under the calling thread's active span so the
+        combined trace forms one tree."""
+        if not shipped:
+            return
+        prefix = self.current_path()
+        for raw in shipped:
+            rec = SpanRecord.from_dict(raw)
+            if prefix:
+                rec.path = f"{prefix}/{rec.path}"
+            self.records.append(rec)
+
+    def export(self) -> list[dict]:
+        """All records as plain dicts (JSONL/Chrome exporter input)."""
+        return [r.as_dict() for r in self.records]
+
+
+class NullTracer:
+    """The disabled tracer: every call is a constant-time no-op."""
+
+    enabled = False
+    origin_pid = -1
+    records: list[SpanRecord] = []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_path(self) -> str:
+        return ""
+
+    def adopt(self, shipped: list[dict]) -> None:
+        pass
+
+    def export(self) -> list[dict]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The tracer instrumented code reports into (never None)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` (None -> the null tracer); returns the
+    previous one so callers can restore it."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer):
+    """Scoped :func:`set_tracer`."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def enable_tracing() -> Tracer:
+    """Install a fresh :class:`Tracer` *and* set ``QF_TRACE`` so pool
+    workers (which inherit the environment) capture their spans too.
+    Returns the installed tracer."""
+    os.environ[TRACE_ENV] = "1"
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Restore the null tracer and clear ``QF_TRACE``."""
+    os.environ.pop(TRACE_ENV, None)
+    set_tracer(NULL_TRACER)
+
+
+@dataclass
+class TelemetryShipment:
+    """Telemetry produced by one task, mutated in place at shipment
+    close so a result object built inside the ``with`` block sees the
+    final contents when it is pickled back to the parent."""
+
+    spans: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+
+@contextmanager
+def telemetry_shipment():
+    """Capture the spans and counter increments of one task for
+    cross-process shipping.
+
+    If the ambient tracer is live *in this process* the spans flow into
+    it directly and ``shipment.spans`` stays empty; otherwise (a pool
+    worker whose fork-inherited tracer belongs to the parent, with
+    ``QF_TRACE`` set) a fresh local tracer captures the block and its
+    serialized records fill the shipment on exit. The counter delta is
+    always recorded; the parent merges it only for results coming from
+    another pid, so nothing is double-counted.
+    """
+    from repro.obs.counters import counters
+
+    snap = counters().snapshot()
+    shipment = TelemetryShipment()
+    ambient = get_tracer()
+    local: Tracer | None = None
+    previous: Tracer | NullTracer | None = None
+    ambient_is_live = ambient.enabled and ambient.origin_pid == os.getpid()
+    if tracing_requested() and not ambient_is_live:
+        local = Tracer()
+        previous = set_tracer(local)
+    try:
+        yield shipment
+    finally:
+        if local is not None:
+            set_tracer(previous)
+            shipment.spans.extend(local.export())
+        shipment.counters.update(counters().delta_since(snap))

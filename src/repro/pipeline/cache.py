@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dfpt.hessian import FragmentResponse
 from repro.geometry.atoms import Geometry
+from repro.obs.counters import counters
 
 
 def response_key(geometry: Geometry, basis_name: str, delta: float) -> str:
@@ -46,9 +47,11 @@ class ResponseCache:
         path = self._path(response_key(geometry, basis_name, delta))
         if not path.exists():
             self.misses += 1
+            counters().inc("cache.misses")
             return None
         data = np.load(path, allow_pickle=False)
         self.hits += 1
+        counters().inc("cache.hits")
 
         def opt(name):
             return data[name] if name in data.files else None

@@ -36,7 +36,6 @@ trajectory asked for by the ROADMAP.
 from __future__ import annotations
 
 import os
-import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -49,6 +48,9 @@ from repro.devtools.contracts import (
 )
 from repro.dfpt.hessian import FragmentResponse, fragment_response
 from repro.geometry.atoms import Geometry
+from repro.obs.counters import counters
+from repro.obs.tracer import get_tracer, telemetry_shipment
+from repro.utils.timing import Stopwatch
 
 
 @dataclass(frozen=True)
@@ -76,7 +78,13 @@ class FragmentTask:
 
 @dataclass
 class FragmentTaskResult:
-    """A finished task plus its execution record."""
+    """A finished task plus its execution record.
+
+    ``spans`` and ``counters`` carry the telemetry a pool worker
+    captured while executing the task (empty when the task ran in the
+    parent process, where spans flow into the ambient tracer
+    directly); the parent merges them at join.
+    """
 
     index: int
     label: str
@@ -85,6 +93,8 @@ class FragmentTaskResult:
     wall_s: float
     worker: int                      # pid of the executing process
     error: tuple[str, str] | None = None   # (repr(exc), traceback text)
+    spans: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -140,31 +150,40 @@ def _run_task(task: FragmentTask) -> FragmentTaskResult:
     """Execute one task, capturing errors instead of raising.
 
     Module-level so it pickles into worker processes; the parent turns
-    a captured error into :class:`FragmentExecutorError`.
+    a captured error into :class:`FragmentExecutorError`. Telemetry
+    (spans under a per-task ``fragment`` span, counter increments) is
+    captured by the shipment and travels back inside the result.
     """
-    t0 = time.perf_counter()
-    try:
-        resp = fragment_response(
-            task.geometry,
-            delta=task.delta,
-            compute_raman=task.compute_raman,
-            compute_ir=task.compute_ir,
-            basis_name=task.basis_name,
-            eri_mode=task.eri_mode,
-            schwarz_cutoff=task.schwarz_cutoff,
-        )
-        error = None
-    except Exception as exc:  # qf: broad-except — captured + re-raised in parent
-        resp = None
-        error = (repr(exc), traceback.format_exc())
+    sw = Stopwatch()
+    with telemetry_shipment() as shipment:
+        with get_tracer().span(
+            "fragment", label=task.label, natoms=task.natoms
+        ) as sp:
+            try:
+                resp = fragment_response(
+                    task.geometry,
+                    delta=task.delta,
+                    compute_raman=task.compute_raman,
+                    compute_ir=task.compute_ir,
+                    basis_name=task.basis_name,
+                    eri_mode=task.eri_mode,
+                    schwarz_cutoff=task.schwarz_cutoff,
+                )
+                error = None
+            except Exception as exc:  # qf: broad-except — captured + re-raised in parent
+                resp = None
+                error = (repr(exc), traceback.format_exc())
+            sp.set(ok=error is None)
     return FragmentTaskResult(
         index=task.index,
         label=task.label,
         natoms=task.natoms,
         response=resp,
-        wall_s=time.perf_counter() - t0,
+        wall_s=sw.elapsed(),
         worker=os.getpid(),
         error=error,
+        spans=shipment.spans,
+        counters=shipment.counters,
     )
 
 
@@ -179,6 +198,12 @@ def largest_first(tasks: list[FragmentTask]) -> list[FragmentTask]:
 
 def _check(result: FragmentTaskResult,
            phase: str = "executor") -> FragmentTaskResult:
+    # merge telemetry a pool worker shipped back (a parent-executed
+    # task reported directly, so only foreign pids are folded in) —
+    # before the error check, so a failed task still leaves its trace
+    if result.worker != os.getpid():
+        get_tracer().adopt(result.spans)
+        counters().merge(result.counters)
     if result.error is not None:
         raise FragmentExecutorError(result.label, *result.error)
     # runtime sanitizer (QF_SANITIZE=1): re-validate the response with
@@ -275,9 +300,9 @@ class SerialExecutor(FragmentExecutor):
         super().__init__(max_workers=1)
 
     def run(self, tasks):
-        t0 = time.perf_counter()
+        sw = Stopwatch()
         results = [_check(_run_task(t), phase="serial") for t in tasks]
-        report = self._report(results, time.perf_counter() - t0)
+        report = self._report(results, sw.elapsed())
         return {r.index: r.response for r in results}, report
 
 
@@ -300,7 +325,7 @@ class ProcessExecutor(FragmentExecutor):
             ordered[i: i + self.chunksize]
             for i in range(0, len(ordered), self.chunksize)
         ]
-        t0 = time.perf_counter()
+        sw = Stopwatch()
         results: list[FragmentTaskResult] = []
         pending = {self._pool.submit(_run_chunk, c) for c in chunks}
         try:
@@ -317,7 +342,7 @@ class ProcessExecutor(FragmentExecutor):
         responses = {r.index: r.response for r in results}
         if determinism_check_enabled():
             verify_determinism(tasks, responses, phase="process")
-        report = self._report(results, time.perf_counter() - t0)
+        report = self._report(results, sw.elapsed())
         return responses, report
 
 
@@ -339,26 +364,29 @@ class DisplacementExecutor(FragmentExecutor):
         self._pool.shutdown(wait=False, cancel_futures=True)
 
     def run(self, tasks):
-        t0 = time.perf_counter()
+        sw = Stopwatch()
         results: list[FragmentTaskResult] = []
         busy_s = 0.0
         for task in tasks:
-            t1 = time.perf_counter()
-            try:
-                resp = fragment_response(
-                    task.geometry,
-                    delta=task.delta,
-                    compute_raman=task.compute_raman,
-                    compute_ir=task.compute_ir,
-                    basis_name=task.basis_name,
-                    eri_mode=task.eri_mode,
-                    schwarz_cutoff=task.schwarz_cutoff,
-                    pool=self._pool,
-                )
-            except Exception as exc:
-                raise FragmentExecutorError(
-                    task.label, repr(exc), traceback.format_exc()
-                ) from exc
+            sw_task = Stopwatch()
+            with get_tracer().span(
+                "fragment", label=task.label, natoms=task.natoms
+            ):
+                try:
+                    resp = fragment_response(
+                        task.geometry,
+                        delta=task.delta,
+                        compute_raman=task.compute_raman,
+                        compute_ir=task.compute_ir,
+                        basis_name=task.basis_name,
+                        eri_mode=task.eri_mode,
+                        schwarz_cutoff=task.schwarz_cutoff,
+                        pool=self._pool,
+                    )
+                except Exception as exc:
+                    raise FragmentExecutorError(
+                        task.label, repr(exc), traceback.format_exc()
+                    ) from exc
             timer = resp.meta.get("timer")
             if timer is not None:
                 busy_s += sum(
@@ -369,14 +397,14 @@ class DisplacementExecutor(FragmentExecutor):
             results.append(
                 FragmentTaskResult(
                     index=task.index, label=task.label, natoms=task.natoms,
-                    response=resp, wall_s=time.perf_counter() - t1,
+                    response=resp, wall_s=sw_task.elapsed(),
                     worker=os.getpid(),
                 )
             )
         responses = {r.index: r.response for r in results}
         if determinism_check_enabled():
             verify_determinism(tasks, responses, phase="displacement")
-        report = self._report(results, time.perf_counter() - t0, busy_s=busy_s)
+        report = self._report(results, sw.elapsed(), busy_s=busy_s)
         return responses, report
 
 

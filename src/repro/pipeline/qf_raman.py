@@ -34,6 +34,8 @@ from repro.fragment.assembly import (
 from repro.fragment.fragmenter import QFDecomposition, decompose_system
 from repro.geometry.atoms import Geometry
 from repro.geometry.protein import BuiltResidue
+from repro.obs.counters import counters
+from repro.obs.tracer import get_tracer
 from repro.pipeline.executor import (
     FragmentExecutor,
     FragmentTask,
@@ -133,14 +135,17 @@ class QFRamanPipeline:
     # -- steps -----------------------------------------------------------------
 
     def decompose(self) -> QFDecomposition:
-        with self.timer.section("decompose"):
-            return decompose_system(
+        with self.timer.section("decompose"), \
+                get_tracer().span("decompose") as sp:
+            dec = decompose_system(
                 protein=self.protein,
                 residues=self.residues,
                 waters=self.waters,
                 lambda_angstrom=self.lambda_angstrom,
                 min_sequence_separation=self.min_sequence_separation,
             )
+            sp.set(pieces=len(dec.pieces), natoms=dec.natoms_total)
+        return dec
 
     def compute_responses(self, decomposition: QFDecomposition
                           ) -> tuple[list[FragmentResponse], int]:
@@ -211,12 +216,24 @@ class QFRamanPipeline:
                 f"backend={executor.name} workers={executor.max_workers}"
             )
             try:
-                with self.timer.section("fragment_response"):
+                with self.timer.section("fragment_response"), \
+                        get_tracer().span(
+                            "fragment_response", n_tasks=len(tasks),
+                            backend=executor.name,
+                        ):
                     computed, self.throughput = executor.run(tasks)
             finally:
                 if owns_executor:
                     executor.close()
             self._log(self.throughput.summary())
+            # fold the per-fragment sub-phase timers (scf_base,
+            # scf_displaced, cphf_displaced, ...) into the pipeline
+            # timer so phase_wall_s covers worker time, not just the
+            # parent's own sections
+            for task in tasks:
+                sub = computed[task.index].meta.get("timer")
+                if sub is not None:
+                    self.timer.merge(sub)
             if self.cache is not None:
                 for task in tasks:
                     self.cache.store(computed[task.index], self.basis_name,
@@ -232,7 +249,9 @@ class QFRamanPipeline:
                 responses.append(entry[1])
             else:  # rotate off the representative (computed or cached)
                 _kind, ref_idx, rot = entry
-                with self.timer.section("rotate_response"):
+                counters().inc("pipeline.rigid_rotations")
+                with self.timer.section("rotate_response"), \
+                        get_tracer().span("rotate_response"):
                     responses.append(
                         rotate_response(responses[ref_idx], rot,
                                         piece.geometry)
@@ -257,13 +276,22 @@ class QFRamanPipeline:
         lanczos_k: int = 150,
         convention: str = "standard",
     ) -> PipelineResult:
+        with get_tracer().span("run", solver=solver) as run_span:
+            return self._run(
+                omega_cm1, sigma_cm1, solver, lanczos_k, convention, run_span
+            )
+
+    def _run(self, omega_cm1, sigma_cm1, solver, lanczos_k, convention,
+             run_span) -> PipelineResult:
         decomposition = self.decompose()
         self._log(
             f"decomposed into {len(decomposition.pieces)} pieces "
             f"({decomposition.counts})"
         )
+        run_span.set(pieces=len(decomposition.pieces),
+                     natoms=decomposition.natoms_total)
         responses, unique = self.compute_responses(decomposition)
-        with self.timer.section("assemble"):
+        with self.timer.section("assemble"), get_tracer().span("assemble"):
             assembled = assemble_response(
                 decomposition.pieces, responses, decomposition.natoms_total
             )
@@ -280,7 +308,8 @@ class QFRamanPipeline:
         masses = self.masses()
         spectrum = None
         if omega_cm1 is not None and self.compute_raman:
-            with self.timer.section("spectrum"):
+            with self.timer.section("spectrum"), \
+                    get_tracer().span("spectrum", solver=solver):
                 if solver == "dense":
                     spectrum = raman_spectrum_dense(
                         assembled.hessian, assembled.dalpha_dr, masses,
@@ -298,8 +327,15 @@ class QFRamanPipeline:
                     )
                 else:
                     raise ValueError(f"unknown solver {solver!r}")
-        if self.throughput is not None:
-            self.throughput.phase_wall_s = dict(self.timer.totals)
+        if self.throughput is None:
+            # a fully cached / rotate-only run never touches the
+            # executor, but the run-level report (and its phase walls)
+            # must still exist
+            self.throughput = ThroughputReport(
+                backend="cached", max_workers=0, n_tasks=0, wall_s=0.0,
+                fragments_per_s=0.0, worker_utilization=0.0,
+            )
+        self.throughput.phase_wall_s = dict(self.timer.totals)
         return PipelineResult(
             decomposition=decomposition,
             responses=responses,

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.counters import counters
+
 
 class DIIS:
     """Fock-matrix extrapolation with a bounded history."""
@@ -57,6 +59,7 @@ class DIIS:
             coeff = np.linalg.solve(b, rhs)[:n]
         except np.linalg.LinAlgError:
             # singular subspace: drop oldest vector and retry
+            counters().inc("scf.diis_resets")
             self._focks.pop(0)
             self._errors.pop(0)
             return self.extrapolate()

@@ -16,6 +16,8 @@ from repro.basis.gaussian import BasisSet, build_basis
 from repro.devtools.contracts import check_array, sanitize_enabled
 from repro.geometry.atoms import Geometry
 from repro.integrals.engine import IntegralEngine
+from repro.obs.counters import counters
+from repro.obs.tracer import get_tracer
 from repro.scf.df import DensityFitting, auto_aux_basis
 from repro.scf.diis import DIIS
 
@@ -159,6 +161,19 @@ class RHF:
         geometry) substantially cuts iteration counts in the DFPT
         displacement loop.
         """
+        with get_tracer().span(
+            "scf", natoms=self.geometry.natoms, nbf=self.basis.nbf,
+            mode=self.eri_mode, seeded=guess_density is not None,
+        ) as sp:
+            result = self._solve(guess_density)
+            sp.set(niter=result.niter, converged=result.converged)
+        counters().inc("scf.runs")
+        counters().inc("scf.iterations", result.niter)
+        if not result.converged:
+            counters().inc("scf.unconverged")
+        return result
+
+    def _solve(self, guess_density: np.ndarray | None = None) -> SCFResult:
         s, h = self._prepare()
         x = orthogonalizer(s)
         e_nuc = self.geometry.nuclear_repulsion()

@@ -22,6 +22,7 @@ from repro.devtools.contracts import (
     sanitize_enabled,
 )
 from repro.geometry.atoms import Geometry
+from repro.obs.counters import counters
 from repro.scf.grid import build_grid, density_on_grid, evaluate_basis
 from repro.scf.rhf import RHF
 from repro.scf.xc import lda_kernel, lda_xc
@@ -53,6 +54,8 @@ class RKS(RHF):
             j = np.einsum("abcd,cd->ab", self._eri, density)
         else:
             j = self._df.coulomb(density)
+        counters().inc("xc.fock_builds")
+        counters().inc("xc.grid_points", self.grid.weights.size)
         rho = density_on_grid(self.chi, density)
         e_dens, v = lda_xc(rho)
         wv = self.grid.weights * v

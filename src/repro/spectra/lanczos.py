@@ -19,6 +19,8 @@ import numpy as np
 import scipy.sparse
 
 from repro.devtools.contracts import check_array, sanitize_enabled
+from repro.obs.counters import counters
+from repro.obs.tracer import get_tracer
 
 
 @dataclass
@@ -91,24 +93,27 @@ def lanczos(
     q_prev = np.zeros_like(q)
     beta_prev = 0.0
     breakdown = False
-    for _ in range(k):
-        w = matvec(q)
-        a = float(q @ w)
-        alphas.append(a)
-        w = w - a * q - beta_prev * q_prev
-        if reorthogonalize:
-            # two passes of classical Gram-Schmidt ("twice is enough")
-            qs = np.array(basis)
-            for _pass in range(2):
-                w = w - qs.T @ (qs @ w)
-        b = float(np.linalg.norm(w))
-        betas.append(b)
-        if b < 1e-12 * max(1.0, abs(a)):
-            breakdown = True
-            break
-        q_prev, q = q, w / b
-        beta_prev = b
-        basis.append(q)
+    with get_tracer().span("lanczos", n=n, k=k) as sp:
+        for _ in range(k):
+            w = matvec(q)
+            a = float(q @ w)
+            alphas.append(a)
+            w = w - a * q - beta_prev * q_prev
+            if reorthogonalize:
+                # two passes of classical Gram-Schmidt ("twice is enough")
+                qs = np.array(basis)
+                for _pass in range(2):
+                    w = w - qs.T @ (qs @ w)
+            b = float(np.linalg.norm(w))
+            betas.append(b)
+            if b < 1e-12 * max(1.0, abs(a)):
+                breakdown = True
+                break
+            q_prev, q = q, w / b
+            beta_prev = b
+            basis.append(q)
+        sp.set(steps=len(alphas), breakdown=breakdown)
+    counters().inc("lanczos.matvecs", len(alphas))
 
     alpha_arr = np.array(alphas)
     beta_arr = np.array(betas)

@@ -1,6 +1,7 @@
 """Shared utilities: timing, FLOP accounting, linear-algebra helpers."""
 
-from repro.utils.timing import Timer, WallClock
+from repro.utils.timing import Stopwatch, Timer, WallClock
 from repro.utils.flops import FlopCounter, gemm_flops, gemv_flops
 
-__all__ = ["Timer", "WallClock", "FlopCounter", "gemm_flops", "gemv_flops"]
+__all__ = ["Stopwatch", "Timer", "WallClock", "FlopCounter", "gemm_flops",
+           "gemv_flops"]

@@ -1,0 +1,11 @@
+"""QF008 fixture: raw clock reads outside the sanctioned timing layer."""
+import time
+from time import perf_counter
+
+t0 = time.perf_counter()
+
+t1 = perf_counter()
+
+t2 = time.perf_counter_ns()
+
+t_ok = time.time()  # wall-clock reads are not flagged

@@ -24,6 +24,7 @@ EXPECTED = {
     "bad_downcast.py": {("QF006", 6), ("QF006", 10), ("QF006", 14),
                         ("QF006", 18), ("QF006", 22)},
     "bad_pkg/__init__.py": {("QF007", 1)},
+    "bad_raw_clock.py": {("QF008", 5), ("QF008", 7), ("QF008", 9)},
 }
 
 
@@ -128,6 +129,23 @@ def test_trivial_init_not_flagged():
 def test_non_init_module_never_flagged_qf007():
     src = "import math\n"
     assert lint_source(src, path="pkg/module.py") == []
+
+
+# -- QF008 details --------------------------------------------------------
+
+def test_raw_clock_exempt_in_timing_and_obs():
+    src = "import time\nstart = time.perf_counter()\n"
+    assert lint_source(src, path="src/repro/utils/timing.py") == []
+    assert lint_source(src, path="src/repro/obs/tracer.py") == []
+    assert [f.code for f in lint_source(src, path="src/repro/scf/rhf.py")] \
+        == ["QF008"]
+
+
+def test_raw_clock_other_modules_clocks_not_flagged():
+    # only perf_counter variants are raw-clock reads; datetime/time.time
+    # are wall-clock provenance stamps, not ad-hoc profiling
+    src = "import time\nstamp = time.time()\nmono = time.monotonic()\n"
+    assert lint_source(src, path="src/repro/x.py") == []
 
 
 # -- CLI ------------------------------------------------------------------

@@ -43,3 +43,62 @@ def test_traced_simulation_consistency():
     assert 0.0 < trace.utilization(8) <= 1.0
     chart = trace.gantt(8)
     assert chart.count("\n") == 8  # 8 leader rows + footer
+
+
+def test_trace_records_every_real_task():
+    """One interval per executed task — not a per-leader synthesis."""
+    sizes = np.full(200, 12)
+    cm = FragmentCostModel(scale=0.1)
+    report, trace = traced_simulation(ORISE, 8, sizes, cm, seed=0)
+    assert len(trace.intervals) == int(report.tasks_assigned.sum())
+    assert not any(iv.reissue for iv in trace.intervals)
+    # per-leader busy time in the trace matches the report exactly
+    for leader in range(8):
+        busy = sum(iv.end - iv.start for iv in trace.intervals
+                   if iv.leader == leader)
+        assert busy == pytest.approx(report.busy_times[leader])
+    assert trace.makespan() == pytest.approx(report.finish_times.max())
+
+
+def test_trace_includes_speculative_reissues():
+    sizes = np.full(120, 12)
+    cm = FragmentCostModel(scale=0.1)
+    report, trace = traced_simulation(
+        ORISE, 6, sizes, cm, seed=1, straggler_prob=0.2
+    )
+    reissues = [iv for iv in trace.intervals if iv.reissue]
+    assert reissues, "fault-tolerant run must reissue straggler tasks"
+    assert len(trace.intervals) == int(report.tasks_assigned.sum())
+    assert "R" in trace.gantt(6)
+
+
+def test_trace_static_round_robin_branch():
+    from repro.hpc import RoundRobinPolicy
+
+    sizes = np.arange(1, 25)
+    cm = FragmentCostModel(scale=0.1)
+    report, trace = traced_simulation(
+        ORISE, 4, sizes, cm, seed=0, policy=RoundRobinPolicy()
+    )
+    # static pre-partitioning still records one interval per fragment
+    assert len(trace.intervals) == sizes.size
+    assert trace.makespan() == pytest.approx(report.makespan)
+    for leader in range(4):
+        busy = sum(iv.end - iv.start for iv in trace.intervals
+                   if iv.leader == leader)
+        assert busy == pytest.approx(report.busy_times[leader])
+
+
+def test_to_spans_bridges_to_obs_exporters(tmp_path):
+    from repro.obs import load_trace, write_trace
+
+    tr = TraceRecorder()
+    tr.record(0, 0.0, 1.0, 3)
+    tr.record(1, 0.5, 2.0, 1, reissue=True)
+    spans = tr.to_spans()
+    assert [s.name for s in spans] == ["task", "reissue"]
+    assert [s.tid for s in spans] == [0, 1]
+    assert spans[1].attrs == {"n_fragments": 1, "reissue": True}
+    path = write_trace(spans, tmp_path / "sched.json")
+    back = load_trace(path)
+    assert [r.name for r in back] == ["task", "reissue"]

@@ -1,0 +1,14 @@
+"""Telemetry tests run against clean process-global state."""
+
+import pytest
+
+from repro.obs import disable_tracing, reset_counters
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    reset_counters()
+    disable_tracing()
+    yield
+    reset_counters()
+    disable_tracing()

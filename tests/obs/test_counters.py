@@ -1,0 +1,56 @@
+"""Counter registry semantics."""
+
+from repro.obs import Counters, counters, reset_counters
+
+
+def test_inc_get_default_zero():
+    c = Counters()
+    assert c.get("scf.runs") == 0
+    c.inc("scf.runs")
+    c.inc("scf.iterations", 12)
+    assert c.get("scf.runs") == 1
+    assert c.get("scf.iterations") == 12
+
+
+def test_as_dict_is_name_sorted():
+    c = Counters()
+    c.inc("z.last")
+    c.inc("a.first")
+    assert list(c.as_dict()) == ["a.first", "z.last"]
+
+
+def test_delta_since_omits_unchanged():
+    c = Counters()
+    c.inc("scf.runs", 2)
+    snap = c.snapshot()
+    c.inc("scf.iterations", 9)
+    c.inc("scf.runs", 0)
+    assert c.delta_since(snap) == {"scf.iterations": 9}
+
+
+def test_merge_registry_and_dict():
+    a = Counters()
+    a.inc("cache.hits", 3)
+    b = Counters()
+    b.inc("cache.hits", 2)
+    b.inc("cache.misses")
+    a.merge(b)
+    a.merge({"cache.misses": 4})
+    assert a.as_dict() == {"cache.hits": 5, "cache.misses": 5}
+
+
+def test_reset_and_len():
+    c = Counters()
+    c.inc("x")
+    assert len(c) == 1
+    c.reset()
+    assert len(c) == 0
+    assert c.as_dict() == {}
+
+
+def test_global_registry_reset():
+    counters().inc("scf.runs")
+    assert counters().get("scf.runs") == 1
+    reset_counters()
+    assert counters().get("scf.runs") == 0
+    assert counters() is counters()

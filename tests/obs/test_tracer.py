@@ -1,0 +1,171 @@
+"""Tracer semantics: nesting, null path, shipment capture/merge."""
+
+import os
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+    counters,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    telemetry_shipment,
+    tracing_requested,
+    use_tracer,
+)
+from repro.obs.tracer import _NULL_SPAN, TRACE_ENV
+
+
+def test_span_nesting_builds_paths():
+    t = Tracer()
+    with use_tracer(t):
+        with t.span("run"):
+            with t.span("scf", natoms=3):
+                pass
+            with t.span("cphf"):
+                with t.span("dfpt.p1"):
+                    pass
+    paths = [r.path for r in t.records]
+    # records append at span *exit*, innermost first
+    assert paths == ["run/scf", "run/cphf/dfpt.p1", "run/cphf", "run"]
+    scf = next(r for r in t.records if r.name == "scf")
+    assert scf.attrs == {"natoms": 3}
+    assert scf.parent == "run"
+    assert scf.depth == 1
+    run = next(r for r in t.records if r.name == "run")
+    assert run.parent is None
+    assert run.dur >= scf.dur >= 0.0
+
+
+def test_span_set_attaches_mid_span_attrs():
+    t = Tracer()
+    with t.span("scf", nbf=7) as sp:
+        sp.set(niter=12, converged=True)
+    assert t.records[0].attrs == {"nbf": 7, "niter": 12, "converged": True}
+
+
+def test_default_tracer_is_null_and_shared():
+    assert get_tracer() is NULL_TRACER
+    assert not NULL_TRACER.enabled
+    # the null span is one shared object: no per-call allocation
+    s1 = NULL_TRACER.span("scf", natoms=3)
+    s2 = NULL_TRACER.span("cphf")
+    assert s1 is s2 is _NULL_SPAN
+    with s1 as sp:
+        sp.set(anything=1)  # silently ignored
+    assert NULL_TRACER.export() == []
+
+
+def test_use_tracer_restores_previous():
+    t = Tracer()
+    assert get_tracer() is NULL_TRACER
+    with use_tracer(t):
+        assert get_tracer() is t
+    assert get_tracer() is NULL_TRACER
+
+
+def test_set_tracer_returns_previous():
+    t = Tracer()
+    prev = set_tracer(t)
+    try:
+        assert prev is NULL_TRACER
+        assert get_tracer() is t
+    finally:
+        set_tracer(prev)
+
+
+def test_enable_disable_tracing_env_roundtrip():
+    assert not tracing_requested()
+    tracer = enable_tracing()
+    try:
+        assert tracing_requested()
+        assert os.environ[TRACE_ENV] == "1"
+        assert get_tracer() is tracer
+        assert tracer.enabled
+    finally:
+        disable_tracing()
+    assert not tracing_requested()
+    assert get_tracer() is NULL_TRACER
+
+
+def test_record_dict_roundtrip():
+    rec = SpanRecord(name="scf", path="run/scf", ts=1.5, dur=0.25,
+                     pid=123, tid=7, attrs={"nbf": 7})
+    back = SpanRecord.from_dict(rec.as_dict())
+    assert back == rec
+
+
+def test_shipment_captures_when_ambient_is_foreign(monkeypatch):
+    """A pool worker's fork-inherited tracer belongs to the parent pid:
+    the shipment must install a local tracer and fill ``spans``."""
+    monkeypatch.setenv(TRACE_ENV, "1")
+    inherited = Tracer()
+    inherited.origin_pid = os.getpid() + 1  # simulate the fork
+    with use_tracer(inherited):
+        with telemetry_shipment() as shipment:
+            with get_tracer().span("scf"):
+                counters().inc("scf.runs")
+        assert get_tracer() is inherited     # restored
+    assert [s["name"] for s in shipment.spans] == ["scf"]
+    assert shipment.counters == {"scf.runs": 1}
+    assert inherited.records == []           # nothing leaked to the fork copy
+
+
+def test_shipment_passthrough_when_ambient_is_live(monkeypatch):
+    """In-process execution: spans flow to the ambient tracer, the
+    shipment stays empty, but the counter delta is still recorded."""
+    monkeypatch.setenv(TRACE_ENV, "1")
+    t = Tracer()
+    with use_tracer(t):
+        with telemetry_shipment() as shipment:
+            with get_tracer().span("scf"):
+                counters().inc("scf.runs")
+    assert shipment.spans == []
+    assert shipment.counters == {"scf.runs": 1}
+    assert [r.name for r in t.records] == ["scf"]
+
+
+def test_shipment_no_capture_without_env():
+    with telemetry_shipment() as shipment:
+        with get_tracer().span("scf"):
+            counters().inc("scf.runs")
+    assert shipment.spans == []
+    assert shipment.counters == {"scf.runs": 1}
+
+
+def test_adopt_reroots_under_current_span():
+    worker = Tracer()
+    with worker.span("fragment"):
+        with worker.span("scf"):
+            pass
+    parent = Tracer()
+    with parent.span("run"):
+        with parent.span("fragment_response"):
+            parent.adopt(worker.export())
+    adopted = [r.path for r in parent.records if r.name in ("fragment", "scf")]
+    assert adopted == [
+        "run/fragment_response/fragment/scf",
+        "run/fragment_response/fragment",
+    ]
+
+
+def test_adopt_at_root_keeps_paths():
+    worker = Tracer()
+    with worker.span("scf"):
+        pass
+    parent = Tracer()
+    parent.adopt(worker.export())
+    assert parent.records[0].path == "scf"
+
+
+def test_exception_still_closes_span():
+    t = Tracer()
+    with pytest.raises(RuntimeError):
+        with t.span("scf"):
+            raise RuntimeError("diverged")
+    assert [r.name for r in t.records] == ["scf"]
+    assert t.current_path() == ""

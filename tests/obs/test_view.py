@@ -1,0 +1,91 @@
+"""Viewer: per-phase summary, flamegraph, end-to-end render."""
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    flamegraph,
+    phase_summary,
+    phase_totals,
+    render,
+    spans_to_jsonl,
+    write_trace,
+)
+
+
+@pytest.fixture
+def records():
+    t = Tracer()
+    with t.span("run"):
+        for label in ("w0", "w1"):
+            with t.span("fragment", label=label):
+                with t.span("scf"):
+                    pass
+        with t.span("spectrum"):
+            pass
+    return t.records
+
+
+def test_phase_totals_aggregate_by_name(records):
+    totals = phase_totals(records)
+    assert totals["fragment"][1] == 2
+    assert totals["scf"][1] == 2
+    assert totals["run"][1] == 1
+    # child time is contained in the parent span
+    assert totals["run"][0] >= totals["fragment"][0] >= totals["scf"][0]
+
+
+def test_phase_summary_table(records):
+    table = phase_summary(records)
+    lines = table.splitlines()
+    assert lines[0].split() == ["span", "total(s)", "calls", "mean(s)"]
+    # sorted by total time: the enclosing run span leads
+    assert lines[1].startswith("run")
+    assert any(line.startswith("fragment ") for line in lines)
+
+
+def test_phase_summary_empty():
+    assert phase_summary([]) == "(empty trace)"
+
+
+def test_flamegraph_tree_structure(records):
+    fg = flamegraph(records, width=20)
+    lines = fg.splitlines()
+    idx = {line.strip().split()[0]: i for i, line in enumerate(lines[1:],
+                                                               start=1)}
+    # children render below their parent, indented
+    assert idx["run"] < idx["fragment"] < idx["scf"]
+    assert lines[idx["fragment"]].startswith("  fragment")
+    assert lines[idx["scf"]].startswith("    scf")
+    # the root bar spans the full width
+    assert lines[idx["run"]].count("█") == 20
+
+
+def test_flamegraph_empty():
+    assert flamegraph([]) == "(empty trace)"
+
+
+def test_render_roundtrips_both_formats(records, tmp_path):
+    for name in ("trace.jsonl", "trace.json"):
+        path = (spans_to_jsonl(records, tmp_path / name)
+                if name.endswith(".jsonl")
+                else write_trace(records, tmp_path / name))
+        out = render(path, width=12)
+        assert "== per-phase summary ==" in out
+        assert "== flamegraph (aggregated by span path) ==" in out
+        assert f"{len(records)} spans" in out
+        assert "run" in out and "scf" in out
+
+
+def test_render_summary_totals_match_span_durations(records, tmp_path):
+    """The viewer is a pure projection: its totals must equal the sums
+    of the underlying span durations exactly (same records, no clock)."""
+    path = spans_to_jsonl(records, tmp_path / "t.jsonl")
+    out = render(path)
+    totals = phase_totals(records)
+    for line in out.splitlines():
+        parts = line.split()
+        if parts and parts[0] in totals and len(parts) == 4:
+            assert float(parts[1]) == pytest.approx(
+                totals[parts[0]][0], abs=5e-5
+            )
