@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test test-all sanitize-smoke trace-demo
+.PHONY: lint test test-all sanitize-smoke trace-demo faults-demo \
+	test-faults coverage-gate
 
 # QF physics-aware linter (docs/static_analysis.md); fails on any new
 # unsuppressed finding — the same zero-findings bar the tier-1 test
@@ -32,3 +33,32 @@ trace-demo:
 		--manifest trace-demo.manifest.json
 	$(PYTHON) -m repro obs view trace-demo.json
 	@echo "open https://ui.perfetto.dev and load trace-demo.json"
+
+# fault tolerance end to end (docs/resilience.md): crash one monomer
+# for good and straggle the dimer — the run retries, reissues, skips
+# the dead fragment, and still delivers a (flagged) partial spectrum
+# plus a resumable checkpoint store and a manifest with the accounting
+faults-demo:
+	rm -rf faults-demo.store
+	$(PYTHON) -m repro water-raman --n 2 --solver dense \
+		--inject-faults 'crash:water[0]@*;hang:ww[0,1]@1:0.5' \
+		--retries 2 --timeout-s 60 --failure-policy skip_and_report \
+		--run-store faults-demo.store \
+		--manifest faults-demo.manifest.json
+	@echo "resuming from faults-demo.store with faults off:"
+	$(PYTHON) -m repro water-raman --n 2 --solver dense \
+		--retries 2 --run-store faults-demo.store
+
+# the fault-injection suite with the numerical sanitizer on — every
+# recovery path (retry, reissue, pool restart, skip, resume) under
+# full contract checking
+test-faults:
+	QF_SANITIZE=1 $(PYTHON) -m pytest -x -q \
+		tests/pipeline/test_resilience.py \
+		tests/pipeline/test_runstore_properties.py
+
+# line-coverage gate over src/repro/pipeline on the tier-1 suite
+# (stdlib tracer, no coverage.py needed — repro.devtools.covgate)
+coverage-gate:
+	$(PYTHON) -m repro.devtools.covgate \
+		--target src/repro/pipeline --fail-under 85 -- -x -q

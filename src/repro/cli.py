@@ -30,6 +30,48 @@ def _apply_sanitize(args) -> None:
         os.environ["QF_SANITIZE"] = "1"
 
 
+def _apply_resilience(args):
+    """Resolve the fault-tolerance flags into pipeline kwargs.
+
+    Must run before any pool is created: --inject-faults exports
+    QF_FAULTS so forked workers inherit the plan (the spec is
+    validated here, so a typo fails fast instead of silently injecting
+    nothing). Returns {} when no resilience flag was given — the
+    pipeline then runs the plain executors.
+    """
+    if getattr(args, "inject_faults", None):
+        from repro.pipeline.faults import FaultPlan
+
+        FaultPlan.parse(args.inject_faults)
+        os.environ["QF_FAULTS"] = args.inject_faults
+    wants = any(
+        getattr(args, name, None) is not None
+        for name in ("retries", "timeout_s", "failure_policy", "run_store")
+    )
+    if not wants:
+        return {}
+    from repro.pipeline.resilience import ResiliencePolicy
+
+    policy = ResiliencePolicy(
+        max_attempts=(args.retries if args.retries is not None else 2) + 1,
+        timeout_s=args.timeout_s,
+        failure_policy=args.failure_policy or "fail_fast",
+    )
+    return {"resilience": policy, "run_store": args.run_store}
+
+
+def _report_resilience(result) -> None:
+    res = result.throughput.resilience if result.throughput else None
+    if res is None:
+        return
+    print(f"resilience: {res['store_hits']} from store, "
+          f"{res['retries']} retries, {res['reissues']} reissues, "
+          f"{res['timeouts']} timeouts, {res['pool_restarts']} pool restarts")
+    if result.skipped_fragments:
+        print(f"PARTIAL SPECTRUM — skipped fragments: "
+              f"{', '.join(result.skipped_fragments)}")
+
+
 def _setup_obs(args):
     """Install a live tracer when any telemetry output was requested.
 
@@ -68,10 +110,17 @@ def _finish_obs(args, tracer, result, command: str, config: dict) -> None:
                              records=tracer.records, timer=result.timer)
         print(f"metrics written to {path}")
     if args.manifest:
+        extras = {}
+        if result.skipped_fragments:
+            # a partial spectrum must be unmistakable in the provenance
+            # record, not just buried in the throughput sub-dict
+            extras["partial_spectrum"] = True
+            extras["skipped_fragments"] = list(result.skipped_fragments)
         manifest = collect_manifest(
             command=command, config=config,
             seeds={"seed": getattr(args, "seed", None)},
             timer=result.timer, throughput=result.throughput,
+            extras=extras,
         )
         manifest.write(args.manifest)
         print(f"manifest written to {args.manifest}")
@@ -85,11 +134,13 @@ def _cmd_water_raman(args) -> int:
     from repro.pipeline import QFRamanPipeline
 
     _apply_sanitize(args)
+    resilience_kwargs = _apply_resilience(args)
     tracer = _setup_obs(args)
     pipe = QFRamanPipeline(
         waters=water_box(args.n, seed=args.seed), relax_waters=True,
         verbose=args.verbose,
         executor=args.executor, max_workers=args.workers,
+        **resilience_kwargs,
     )
     omega = np.linspace(200, 5200, 1000)
     result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
@@ -103,6 +154,7 @@ def _cmd_water_raman(args) -> int:
           f"(unique: {result.unique_pieces})")
     if result.throughput is not None:
         print(result.throughput.summary())
+    _report_resilience(result)
     for name, info in band_assignment(
         sp.omega_cm1, sp.intensity, WATER_BANDS,
         frequency_scale=RHF_STO3G_FREQUENCY_SCALE,
@@ -125,12 +177,14 @@ def _cmd_peptide_raman(args) -> int:
     from repro.scf.optimize import optimize_geometry
 
     _apply_sanitize(args)
+    resilience_kwargs = _apply_resilience(args)
     tracer = _setup_obs(args)
     geom, residues = build_polypeptide(args.sequence)
     opt = optimize_geometry(geom, eri_mode="df")
     pipe = QFRamanPipeline(protein=opt.geometry, residues=residues,
                            verbose=args.verbose,
-                           executor=args.executor, max_workers=args.workers)
+                           executor=args.executor, max_workers=args.workers,
+                           **resilience_kwargs)
     omega = np.linspace(200, 5200, 1200)
     result = pipe.run(omega_cm1=omega, sigma_cm1=args.sigma,
                       solver=args.solver)
@@ -142,6 +196,7 @@ def _cmd_peptide_raman(args) -> int:
     sp = result.spectrum.normalized()
     if result.throughput is not None:
         print(result.throughput.summary())
+    _report_resilience(result)
     for name, info in band_assignment(
         sp.omega_cm1, sp.intensity, PROTEIN_BANDS,
         frequency_scale=RHF_STO3G_FREQUENCY_SCALE,
@@ -267,6 +322,36 @@ def main(argv: list[str] | None = None) -> int:
             "--manifest", default=None, metavar="FILE",
             help="write a JSON run manifest (config, versions, git SHA, "
                  "counters, per-phase walls)",
+        )
+        # fault tolerance (docs/resilience.md) — any of these flags
+        # switches the run into the resilient executor
+        p.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="retry each failed fragment up to N times with "
+                 "exponential backoff (enables fault-tolerant execution)",
+        )
+        p.add_argument(
+            "--timeout-s", type=float, default=None, metavar="S",
+            help="per-attempt wall-clock limit; the process backend "
+                 "speculatively reissues stragglers past it",
+        )
+        p.add_argument(
+            "--failure-policy", choices=("fail_fast", "skip_and_report"),
+            default=None,
+            help="what to do when a fragment exhausts its retries: abort "
+                 "the run, or skip it and assemble a flagged partial "
+                 "spectrum",
+        )
+        p.add_argument(
+            "--run-store", default=None, metavar="DIR",
+            help="checkpoint finished fragments to DIR; rerunning with "
+                 "the same DIR resumes an interrupted run bit-identically",
+        )
+        p.add_argument(
+            "--inject-faults", default=None, metavar="SPEC",
+            help="deterministic fault injection (= QF_FAULTS), e.g. "
+                 "'crash:water[0]@1;hang:ww[0,1]@1:0.5' — see "
+                 "docs/resilience.md for the grammar",
         )
 
     p = sub.add_parser("water-raman", help="Raman spectrum of a water box")

@@ -191,33 +191,40 @@ def array_contract(
     return deco
 
 
-def check_response(resp, label: str = "", phase: str = ""):
+def check_response(resp, label: str = "", phase: str = "", *,
+                   force: bool = False):
     """Fragment-level composite contract (duck-typed FragmentResponse).
 
     Checks the invariants the Eq. (1) assembly silently assumes:
     a symmetric, finite Hessian; finite Raman tensor and gradient; a
     symmetric equilibrium polarizability. The producing fragment and
     pipeline phase go into the error's context.
+
+    ``force=True`` checks even when sanitizing is disabled — the
+    fault-tolerant executor uses it so corrupted worker results always
+    feed the retry path instead of the spectrum
+    (:mod:`repro.pipeline.resilience`).
     """
-    if not sanitize_enabled():
+    if not (force or sanitize_enabled()):
         return resp
     context = " ".join(x for x in (f"fragment={label}" if label else "",
                                    f"phase={phase}" if phase else "") if x)
     ncoord = resp.hessian.shape[0]
     check_array("hessian", resp.hessian, symmetric=True,
-                shape=(ncoord, ncoord), atol=1.0e-8, context=context)
-    check_array("gradient", resp.gradient, context=context)
+                shape=(ncoord, ncoord), atol=1.0e-8, context=context,
+                force=force)
+    check_array("gradient", resp.gradient, context=context, force=force)
     if resp.dalpha_dr is not None:
         check_array("dalpha_dr", resp.dalpha_dr, shape=(ncoord, 3, 3),
-                    context=context)
+                    context=context, force=force)
     if resp.alpha is not None:
         # CPHF alpha is symmetric only to solver tolerance (1e-8 on U),
         # which propagates to ~1e-6 on the tensor
         check_array("alpha", resp.alpha, symmetric=True, shape=(3, 3),
-                    atol=1.0e-5, context=context)
+                    atol=1.0e-5, context=context, force=force)
     if resp.dmu_dr is not None:
         check_array("dmu_dr", resp.dmu_dr, shape=(ncoord, 3),
-                    context=context)
+                    context=context, force=force)
     return resp
 
 

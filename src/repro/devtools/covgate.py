@@ -1,0 +1,204 @@
+"""Line-coverage gate for a package subtree — stdlib only.
+
+The container has no ``coverage``/``pytest-cov``, so this module
+implements the minimum needed to gate CI: measure which lines of a
+target directory execute during a pytest run and fail when the
+percentage drops below a floor. Used by ``make coverage-gate`` to hold
+``src/repro/pipeline/`` above 85% on the tier-1 suite, so the
+fault-tolerance machinery cannot silently lose its tests.
+
+Mechanics
+---------
+*Executable lines* come from compiling each source file and walking the
+code objects' ``co_lines()`` tables, counting only **function bodies**
+(code objects with ``CO_OPTIMIZED``): module- and class-level lines run
+once at import, which happens before any tracer can start — the target
+package is imported by the gate's own process startup — so they carry
+no signal. Functions whose ``def`` line carries ``# pragma: no cover``
+are excluded, recursively. *Executed lines* come from a
+:func:`sys.settrace` hook that enables line events only for frames
+whose code lives in the target files — everything else pays one dict
+lookup per function call. Pool-worker processes are not traced; the
+gate measures the parent, which is where every target module also runs
+(the serial backend shares the worker code path).
+
+Usage::
+
+    python -m repro.devtools.covgate [--target src/repro/pipeline]
+        [--fail-under 85] [--list-misses] -- [pytest args]
+
+Pytest args default to ``-x -q`` (the tier-1 selection via pyproject
+``addopts``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+
+__all__ = [
+    "CoverageTracer",
+    "collect_executable_lines",
+    "coverage_percent",
+    "main",
+]
+
+_PRAGMA = "pragma: no cover"
+
+
+#: set on real function/lambda/comprehension code objects, absent on
+#: module and class bodies (which execute at import time)
+_CO_OPTIMIZED = 0x0001
+
+
+def _code_lines(code, source_lines: list[str], out: set[int]) -> None:
+    """Recursively collect function-body line numbers of ``code``."""
+    first = code.co_firstlineno
+    if code.co_name != "<module>" and 0 < first <= len(source_lines) \
+            and _PRAGMA in source_lines[first - 1]:
+        return
+    if code.co_flags & _CO_OPTIMIZED:
+        pairs = [(start, line) for start, _end, line in code.co_lines()
+                 if line is not None and line > 0]
+        # the instruction at offset 0 (RESUME) maps to the `def` line
+        # but emits no line event when the module was imported before
+        # tracing started — count that line only if a real statement
+        # also lives on it (one-liner defs)
+        resume_only = {line for start, line in pairs if start == 0} \
+            - {line for start, line in pairs if start > 0}
+        for _start, line in pairs:
+            if line in resume_only:
+                continue
+            if line <= len(source_lines) \
+                    and _PRAGMA in source_lines[line - 1]:
+                continue
+            out.add(line)
+    for const in code.co_consts:
+        if hasattr(const, "co_lines"):
+            _code_lines(const, source_lines, out)
+
+
+def collect_executable_lines(path: Path) -> set[int]:
+    """Function-body line numbers of ``path`` (pragma-filtered)."""
+    text = path.read_text(encoding="utf-8")
+    code = compile(text, str(path), "exec")
+    lines: set[int] = set()
+    _code_lines(code, text.splitlines(), lines)
+    return lines
+
+
+class CoverageTracer:
+    """Selective line tracer over a fixed set of absolute file paths."""
+
+    def __init__(self, target_files: set[str]):
+        self.target_files = target_files
+        self.hits: dict[str, set[int]] = {f: set() for f in target_files}
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.hits[frame.f_code.co_filename].add(frame.f_lineno)
+        return self._local
+
+    def _global(self, frame, event, arg):
+        if event == "call" and frame.f_code.co_filename in self.target_files:
+            return self._local
+        return None
+
+    def __enter__(self) -> "CoverageTracer":
+        # save + restore whatever tracer was active, so a nested use
+        # (e.g. the gate's own unit tests running *under* the gate)
+        # shadows the outer tracer only for the inner block instead of
+        # silently killing it for the rest of the process
+        self._prev_sys = sys.gettrace()
+        self._prev_threading = threading.gettrace()
+        threading.settrace(self._global)
+        sys.settrace(self._global)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        sys.settrace(self._prev_sys)
+        threading.settrace(self._prev_threading)
+
+
+def coverage_percent(executable: dict[str, set[int]],
+                     hits: dict[str, set[int]]) -> float:
+    total = sum(len(lines) for lines in executable.values())
+    if total == 0:
+        return 100.0
+    covered = sum(len(executable[f] & hits.get(f, set()))
+                  for f in executable)
+    return 100.0 * covered / total
+
+
+def run_gate(target: Path, fail_under: float, pytest_args: list[str],
+             list_misses: bool = False) -> int:
+    """Measure, report, and gate. Returns a process exit code."""
+    files = sorted(target.rglob("*.py"))
+    if not files:
+        print(f"covgate: no python files under {target}", file=sys.stderr)
+        return 2
+    executable = {str(f.resolve()): collect_executable_lines(f)
+                  for f in files}
+
+    import pytest
+
+    tracer = CoverageTracer(set(executable))
+    with tracer:
+        test_status = pytest.main(pytest_args)
+
+    print(f"\ncoverage of {target} (gate: {fail_under:.0f}%)")
+    print(f"{'file':<52} {'lines':>6} {'hit':>6} {'cover':>7}")
+    for fname in sorted(executable):
+        lines = executable[fname]
+        hit = lines & tracer.hits.get(fname, set())
+        pct = 100.0 * len(hit) / len(lines) if lines else 100.0
+        short = str(Path(fname)).removeprefix(str(Path.cwd()) + "/")
+        print(f"{short:<52} {len(lines):>6} {len(hit):>6} {pct:>6.1f}%")
+        if list_misses and len(hit) < len(lines):
+            missed = sorted(lines - hit)
+            print(f"    missed: {', '.join(map(str, missed))}")
+    pct = coverage_percent(executable, tracer.hits)
+    print(f"{'TOTAL':<52} "
+          f"{sum(len(v) for v in executable.values()):>6} "
+          f"{sum(len(executable[f] & tracer.hits.get(f, set())) for f in executable):>6} "
+          f"{pct:>6.1f}%")
+    if int(test_status) != 0:
+        print(f"covgate: pytest failed (exit {int(test_status)})",
+              file=sys.stderr)
+        return int(test_status)
+    if pct < fail_under:
+        print(f"covgate: FAIL — {pct:.1f}% < {fail_under:.1f}%",
+              file=sys.stderr)
+        return 1
+    print(f"covgate: OK — {pct:.1f}% >= {fail_under:.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    pytest_args = ["-x", "-q"]
+    if "--" in argv:
+        split = argv.index("--")
+        argv, tail = argv[:split], argv[split + 1:]
+        if tail:
+            pytest_args = tail
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.covgate",
+        description="line-coverage gate over a package subtree",
+    )
+    parser.add_argument("--target", default="src/repro/pipeline",
+                        help="directory to measure (default: "
+                             "src/repro/pipeline)")
+    parser.add_argument("--fail-under", type=float, default=85.0,
+                        help="minimum total coverage percent (default: 85)")
+    parser.add_argument("--list-misses", action="store_true",
+                        help="print the missed line numbers per file")
+    args = parser.parse_args(argv)
+    return run_gate(Path(args.target), args.fail_under, pytest_args,
+                    list_misses=args.list_misses)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -14,7 +14,16 @@ from repro.pipeline.executor import (
     ThroughputReport,
     make_executor,
 )
+from repro.pipeline.faults import FaultPlan, InjectedFault
 from repro.pipeline.qf_raman import PipelineResult, QFRamanPipeline
+from repro.pipeline.resilience import (
+    FAIL_FAST,
+    SKIP_AND_REPORT,
+    ResiliencePolicy,
+    ResilienceReport,
+    ResilientExecutor,
+    RunStore,
+)
 from repro.pipeline.rigid import kabsch_rotation, rotate_response
 
 __all__ = [
@@ -25,6 +34,14 @@ __all__ = [
     "FragmentTask",
     "ThroughputReport",
     "make_executor",
+    "FaultPlan",
+    "InjectedFault",
+    "FAIL_FAST",
+    "SKIP_AND_REPORT",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "ResilientExecutor",
+    "RunStore",
     "kabsch_rotation",
     "rotate_response",
 ]

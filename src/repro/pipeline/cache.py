@@ -7,11 +7,18 @@ module is that result store for the laptop pipeline: each
 :class:`~repro.dfpt.hessian.FragmentResponse` is keyed by an exact
 geometry hash (symbols + coordinates rounded to 1e-9 bohr + the level
 of theory) and saved as one ``.npz`` file.
+
+The hashing and (de)serialization helpers are shared with the
+fault-tolerance layer (:class:`repro.pipeline.resilience.RunStore`
+persists per-run results under :func:`task_key`, which extends
+:func:`response_key` with the full execution config so a resumed run
+only trusts results produced under identical settings).
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 from pathlib import Path
 
 import numpy as np
@@ -20,14 +27,105 @@ from repro.dfpt.hessian import FragmentResponse
 from repro.geometry.atoms import Geometry
 from repro.obs.counters import counters
 
+#: optional FragmentResponse array fields persisted when present
+_OPTIONAL_FIELDS = ("dalpha_dr", "alpha", "dmu_dr")
+
+
+def _geometry_digest(h, geometry: Geometry) -> None:
+    h.update(",".join(geometry.symbols).encode())
+    h.update(np.round(geometry.coords, 9).tobytes())
+    h.update(f"|{geometry.charge}".encode())
+
 
 def response_key(geometry: Geometry, basis_name: str, delta: float) -> str:
     """Exact-content hash of (geometry, level of theory)."""
     h = hashlib.sha256()
-    h.update(",".join(geometry.symbols).encode())
-    h.update(np.round(geometry.coords, 9).tobytes())
-    h.update(f"|{geometry.charge}|{basis_name}|{delta:.3e}".encode())
+    _geometry_digest(h, geometry)
+    h.update(f"|{basis_name}|{delta:.3e}".encode())
     return h.hexdigest()[:24]
+
+
+def task_key(
+    geometry: Geometry,
+    basis_name: str,
+    delta: float,
+    *,
+    compute_raman: bool = True,
+    compute_ir: bool = False,
+    eri_mode: str = "auto",
+    schwarz_cutoff: float = 1.0e-12,
+    extra: dict | None = None,
+) -> str:
+    """Content hash of one fragment task: geometry + full run config.
+
+    Unlike :func:`response_key` (geometry + level of theory only), this
+    covers every knob that can change the numerical result, so a
+    :class:`~repro.pipeline.resilience.RunStore` hit is guaranteed
+    bit-compatible with a fresh computation. The config is serialized
+    with sorted keys, so the key is invariant to dict insertion order;
+    nothing positional (task index, attempt number, submission order)
+    enters the hash, so it is invariant to fragment ordering too.
+    """
+    h = hashlib.sha256()
+    _geometry_digest(h, geometry)
+    config = {
+        "basis": basis_name,
+        "delta": f"{delta:.3e}",
+        "raman": bool(compute_raman),
+        "ir": bool(compute_ir),
+        "eri": eri_mode,
+        "schwarz": f"{schwarz_cutoff:.3e}",
+    }
+    if extra:
+        config.update({str(k): str(v) for k, v in extra.items()})
+    h.update(json.dumps(config, sort_keys=True).encode())
+    return h.hexdigest()[:24]
+
+
+def response_payload(response: FragmentResponse) -> dict[str, np.ndarray]:
+    """The array dict an ``.npz`` snapshot of ``response`` holds."""
+    payload = {
+        "energy": np.array(response.energy),
+        "hessian": response.hessian,
+        "gradient": response.gradient,
+    }
+    for name in _OPTIONAL_FIELDS:
+        val = getattr(response, name)
+        if val is not None:
+            payload[name] = val
+    return payload
+
+
+def response_from_npz(data, geometry: Geometry,
+                      meta: dict | None = None) -> FragmentResponse:
+    """Rebuild a :class:`FragmentResponse` from a loaded ``.npz``."""
+
+    def opt(name):
+        return data[name] if name in data.files else None
+
+    return FragmentResponse(
+        geometry=geometry,
+        energy=float(data["energy"]),
+        hessian=data["hessian"],
+        dalpha_dr=opt("dalpha_dr"),
+        alpha=opt("alpha"),
+        gradient=data["gradient"],
+        dmu_dr=opt("dmu_dr"),
+        meta=dict(meta or {"cached": True}),
+    )
+
+
+def write_npz_atomic(path: Path, payload: dict[str, np.ndarray]) -> Path:
+    """Write ``payload`` to ``path`` via tmp-file + rename.
+
+    The rename is atomic on POSIX: a reader (or a resumed run) either
+    sees the complete file or no file — never half a snapshot. A crash
+    mid-write leaves only a ``*.tmp.npz`` stray, which loaders ignore.
+    """
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, **payload)
+    tmp.replace(path)
+    return path
 
 
 class ResponseCache:
@@ -52,38 +150,12 @@ class ResponseCache:
         data = np.load(path, allow_pickle=False)
         self.hits += 1
         counters().inc("cache.hits")
-
-        def opt(name):
-            return data[name] if name in data.files else None
-
-        return FragmentResponse(
-            geometry=geometry,
-            energy=float(data["energy"]),
-            hessian=data["hessian"],
-            dalpha_dr=opt("dalpha_dr"),
-            alpha=opt("alpha"),
-            gradient=data["gradient"],
-            dmu_dr=opt("dmu_dr"),
-            meta={"cached": True},
-        )
+        return response_from_npz(data, geometry)
 
     def store(self, response: FragmentResponse, basis_name: str,
               delta: float) -> Path:
         key = response_key(response.geometry, basis_name, delta)
-        path = self._path(key)
-        payload = {
-            "energy": np.array(response.energy),
-            "hessian": response.hessian,
-            "gradient": response.gradient,
-        }
-        for name in ("dalpha_dr", "alpha", "dmu_dr"):
-            val = getattr(response, name)
-            if val is not None:
-                payload[name] = val
-        tmp = path.with_suffix(".tmp.npz")
-        np.savez_compressed(tmp, **payload)
-        tmp.replace(path)  # atomic on POSIX: a crash never leaves half a file
-        return path
+        return write_npz_atomic(self._path(key), response_payload(response))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("resp_*.npz"))

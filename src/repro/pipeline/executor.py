@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.devtools.contracts import (
@@ -50,6 +51,11 @@ from repro.dfpt.hessian import FragmentResponse, fragment_response
 from repro.geometry.atoms import Geometry
 from repro.obs.counters import counters
 from repro.obs.tracer import get_tracer, telemetry_shipment
+from repro.pipeline.faults import (
+    active_fault_plan,
+    apply_post_fault,
+    apply_pre_fault,
+)
 from repro.utils.timing import Stopwatch
 
 
@@ -70,6 +76,10 @@ class FragmentTask:
     basis_name: str = "sto-3g"
     eri_mode: str = "auto"
     schwarz_cutoff: float = 1.0e-12
+    #: 1-based execution attempt — set by the resilience layer on
+    #: retries/reissues; keys the deterministic fault-injection plan
+    #: (never enters content hashes: a retry computes the same result)
+    attempt: int = 1
 
     @property
     def natoms(self) -> int:
@@ -113,6 +123,9 @@ class ThroughputReport:
     worker_utilization: float
     tasks: list[dict] = field(default_factory=list)
     phase_wall_s: dict = field(default_factory=dict)
+    #: retry/reissue/skip accounting when the run was fault-tolerant
+    #: (a ResilienceReport dict; flows into the RunManifest)
+    resilience: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -124,6 +137,7 @@ class ThroughputReport:
             "worker_utilization": self.worker_utilization,
             "tasks": self.tasks,
             "phase_wall_s": self.phase_wall_s,
+            "resilience": self.resilience,
         }
 
     def summary(self) -> str:
@@ -155,11 +169,17 @@ def _run_task(task: FragmentTask) -> FragmentTaskResult:
     captured by the shipment and travels back inside the result.
     """
     sw = Stopwatch()
+    plan = active_fault_plan()
+    fault = plan.lookup(task.label, task.attempt) if plan is not None else None
     with telemetry_shipment() as shipment:
         with get_tracer().span(
-            "fragment", label=task.label, natoms=task.natoms
+            "fragment", label=task.label, natoms=task.natoms,
+            attempt=task.attempt,
         ) as sp:
             try:
+                if fault is not None:
+                    counters().inc("resilience.faults_injected")
+                    apply_pre_fault(fault)
                 resp = fragment_response(
                     task.geometry,
                     delta=task.delta,
@@ -169,6 +189,7 @@ def _run_task(task: FragmentTask) -> FragmentTaskResult:
                     eri_mode=task.eri_mode,
                     schwarz_cutoff=task.schwarz_cutoff,
                 )
+                apply_post_fault(fault, resp)
                 error = None
             except Exception as exc:  # qf: broad-except — captured + re-raised in parent
                 resp = None
@@ -196,14 +217,22 @@ def largest_first(tasks: list[FragmentTask]) -> list[FragmentTask]:
     return sorted(tasks, key=lambda t: -t.natoms)
 
 
-def _check(result: FragmentTaskResult,
-           phase: str = "executor") -> FragmentTaskResult:
-    # merge telemetry a pool worker shipped back (a parent-executed
-    # task reported directly, so only foreign pids are folded in) —
-    # before the error check, so a failed task still leaves its trace
+def merge_telemetry(result: FragmentTaskResult) -> None:
+    """Fold telemetry a pool worker shipped back into the parent.
+
+    A parent-executed task reported into the ambient tracer/counters
+    directly, so only foreign pids are merged.
+    """
     if result.worker != os.getpid():
         get_tracer().adopt(result.spans)
         counters().merge(result.counters)
+
+
+def _check(result: FragmentTaskResult,
+           phase: str = "executor") -> FragmentTaskResult:
+    # merge before the error check, so a failed task still leaves its
+    # trace
+    merge_telemetry(result)
     if result.error is not None:
         raise FragmentExecutorError(result.label, *result.error)
     # runtime sanitizer (QF_SANITIZE=1): re-validate the response with
@@ -261,6 +290,23 @@ class FragmentExecutor:
             ) -> tuple[dict[int, FragmentResponse], ThroughputReport]:
         raise NotImplementedError
 
+    def run_one(self, task: FragmentTask) -> FragmentTaskResult:
+        """Execute one task, capturing failure in the result.
+
+        The per-attempt seam the resilience layer drives: never raises
+        for a task-level failure (``result.error`` carries it), so the
+        caller decides between retry, skip, and abort.
+        """
+        raise NotImplementedError
+
+    def restart_pool(self) -> None:
+        """Replace a broken worker pool (no-op for poolless backends).
+
+        After a hard worker death (``BrokenProcessPool``) the pool
+        rejects all further submissions; the resilience layer calls
+        this before retrying.
+        """
+
     def close(self) -> None:
         pass
 
@@ -299,6 +345,9 @@ class SerialExecutor(FragmentExecutor):
     def __init__(self, max_workers: int | None = None):
         super().__init__(max_workers=1)
 
+    def run_one(self, task):
+        return _run_task(task)
+
     def run(self, tasks):
         sw = Stopwatch()
         results = [_check(_run_task(t), phase="serial") for t in tasks]
@@ -319,6 +368,24 @@ class ProcessExecutor(FragmentExecutor):
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
 
+    def restart_pool(self) -> None:
+        self.close()
+        self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        counters().inc("resilience.pool_restarts")
+
+    def run_one(self, task):
+        try:
+            return self._pool.submit(_run_task, task).result()
+        except BrokenProcessPool as exc:
+            # the worker died without returning (segfault, OOM-kill,
+            # os._exit); synthesize a failed result naming the fragment
+            return FragmentTaskResult(
+                index=task.index, label=task.label, natoms=task.natoms,
+                response=None, wall_s=0.0, worker=0,
+                error=(f"worker process died before returning ({exc!r})",
+                       ""),
+            )
+
     def run(self, tasks):
         ordered = largest_first(tasks)
         chunks = [
@@ -327,13 +394,26 @@ class ProcessExecutor(FragmentExecutor):
         ]
         sw = Stopwatch()
         results: list[FragmentTaskResult] = []
-        pending = {self._pool.submit(_run_chunk, c) for c in chunks}
+        pending = {self._pool.submit(_run_chunk, c): c for c in chunks}
         try:
             while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in finished:
+                    chunk = pending.pop(fut)
+                    try:
+                        chunk_results = fut.result()
+                    except BrokenProcessPool as exc:
+                        # without this, a hard worker death surfaces as
+                        # a bare BrokenProcessPool with no hint of what
+                        # was running; name the fragment(s) and phase
+                        labels = ",".join(t.label for t in chunk)
+                        raise FragmentExecutorError(
+                            labels,
+                            f"worker process died before returning "
+                            f"({exc!r}) [phase=process]",
+                        ) from exc
                     results.extend(
-                        _check(r, phase="process") for r in fut.result()
+                        _check(r, phase="process") for r in chunk_results
                     )
         except Exception:
             for fut in pending:
@@ -363,30 +443,55 @@ class DisplacementExecutor(FragmentExecutor):
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
 
+    def restart_pool(self) -> None:
+        self.close()
+        self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        counters().inc("resilience.pool_restarts")
+
+    def run_one(self, task):
+        sw_task = Stopwatch()
+        plan = active_fault_plan()
+        fault = plan.lookup(task.label, task.attempt) \
+            if plan is not None else None
+        with get_tracer().span(
+            "fragment", label=task.label, natoms=task.natoms,
+            attempt=task.attempt,
+        ) as sp:
+            try:
+                if fault is not None:
+                    counters().inc("resilience.faults_injected")
+                    apply_pre_fault(fault)
+                resp = fragment_response(
+                    task.geometry,
+                    delta=task.delta,
+                    compute_raman=task.compute_raman,
+                    compute_ir=task.compute_ir,
+                    basis_name=task.basis_name,
+                    eri_mode=task.eri_mode,
+                    schwarz_cutoff=task.schwarz_cutoff,
+                    pool=self._pool,
+                )
+                apply_post_fault(fault, resp)
+                error = None
+            except Exception as exc:  # qf: broad-except — captured for the caller
+                resp = None
+                error = (repr(exc), traceback.format_exc())
+            sp.set(ok=error is None)
+        return FragmentTaskResult(
+            index=task.index, label=task.label, natoms=task.natoms,
+            response=resp, wall_s=sw_task.elapsed(), worker=os.getpid(),
+            error=error,
+        )
+
     def run(self, tasks):
         sw = Stopwatch()
         results: list[FragmentTaskResult] = []
         busy_s = 0.0
         for task in tasks:
-            sw_task = Stopwatch()
-            with get_tracer().span(
-                "fragment", label=task.label, natoms=task.natoms
-            ):
-                try:
-                    resp = fragment_response(
-                        task.geometry,
-                        delta=task.delta,
-                        compute_raman=task.compute_raman,
-                        compute_ir=task.compute_ir,
-                        basis_name=task.basis_name,
-                        eri_mode=task.eri_mode,
-                        schwarz_cutoff=task.schwarz_cutoff,
-                        pool=self._pool,
-                    )
-                except Exception as exc:
-                    raise FragmentExecutorError(
-                        task.label, repr(exc), traceback.format_exc()
-                    ) from exc
+            result = self.run_one(task)
+            if result.error is not None:
+                raise FragmentExecutorError(task.label, *result.error)
+            resp = result.response
             timer = resp.meta.get("timer")
             if timer is not None:
                 busy_s += sum(
@@ -394,13 +499,7 @@ class DisplacementExecutor(FragmentExecutor):
                     ("scf_displaced", "gradient_displaced", "cphf_displaced")
                 )
             check_response(resp, label=task.label, phase="displacement")
-            results.append(
-                FragmentTaskResult(
-                    index=task.index, label=task.label, natoms=task.natoms,
-                    response=resp, wall_s=sw_task.elapsed(),
-                    worker=os.getpid(),
-                )
-            )
+            results.append(result)
         responses = {r.index: r.response for r in results}
         if determinism_check_enabled():
             verify_determinism(tasks, responses, phase="displacement")
@@ -419,20 +518,37 @@ def make_executor(
     backend: str = "serial",
     max_workers: int | None = None,
     chunksize: int = 1,
+    resilience=None,
+    run_store=None,
 ) -> FragmentExecutor:
     """Instantiate an executor backend by name.
 
     ``max_workers`` defaults to the CPU count for the parallel
     backends (ignored by ``serial``); ``chunksize`` only affects
-    ``process``.
+    ``process``. Passing a
+    :class:`~repro.pipeline.resilience.ResiliencePolicy` (or True for
+    the defaults) and/or a ``run_store`` directory wraps the backend in
+    the fault-tolerant :class:`~repro.pipeline.resilience.ResilientExecutor`
+    (retries, timeouts, checkpoint/resume; see docs/resilience.md).
     """
-    try:
-        cls = _BACKENDS[backend]
-    except KeyError:
+    if backend not in _BACKENDS:
         raise ValueError(
             f"unknown executor backend {backend!r}; "
             f"expected one of {sorted(_BACKENDS)}"
-        ) from None
+        )
+    if resilience is not None or run_store is not None:
+        from repro.pipeline.resilience import ResiliencePolicy, ResilientExecutor
+
+        policy = None if resilience in (None, True) else resilience
+        if policy is not None and not isinstance(policy, ResiliencePolicy):
+            raise TypeError(
+                f"resilience must be a ResiliencePolicy, got {policy!r}"
+            )
+        return ResilientExecutor(
+            base=backend, max_workers=max_workers, policy=policy,
+            store=run_store,
+        )
+    cls = _BACKENDS[backend]
     if cls is ProcessExecutor:
         return cls(max_workers=max_workers, chunksize=chunksize)
     return cls(max_workers=max_workers)

@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the fragment executors.
+
+The paper's production runs survive worker crashes, stragglers, and
+silent data corruption across 96,000 nodes; reproducing that resilience
+is only credible if every recovery path can be exercised on demand.
+This module is the injection seam: a :class:`FaultPlan` — parsed from
+the ``QF_FAULTS`` environment variable (inherited by pool workers) or
+the ``--inject-faults`` CLI flag — tells
+:func:`repro.pipeline.executor._run_task` to misbehave on chosen
+(fragment, attempt) pairs.
+
+Grammar (clauses separated by ``;``)::
+
+    clause  := kind ':' target ['@' attempts] [':' param]
+    kind    := 'crash' | 'hang' | 'corrupt' | 'die'
+    target  := fragment label — exact match, or fnmatch glob when the
+               pattern contains '*' or '?' (labels contain '[' ']',
+               which fnmatch would otherwise treat as char classes)
+    attempts:= N | N '-' M | '*'      (1-based; default 1)
+    param   := float (seconds for hang / die delay)
+
+Kinds:
+
+``crash``
+    Raise :class:`InjectedFault` inside the task body — the ordinary
+    "worker raised" path (captured, attributed, retried).
+``hang``
+    Sleep ``param`` seconds (default 30) before computing — a
+    straggler; exercises wall-clock timeouts and speculative reissue.
+``corrupt``
+    Compute normally, then overwrite the Hessian with NaN — silent
+    data corruption; exercises the contract-check → retry path.
+``die``
+    Sleep ``param`` seconds (default 0) then ``os._exit`` — a hard
+    process kill. In a pool worker this surfaces as
+    ``BrokenProcessPool``; in the parent (serial backend) it kills the
+    driver itself, which is how the kill-mid-run → resume tests
+    simulate a SIGKILL'd run.
+
+Examples::
+
+    QF_FAULTS='crash:water[0]@1'          # raise on first attempt only
+    QF_FAULTS='hang:ww[0,1]@1:0.75'       # straggle 0.75 s once
+    QF_FAULTS='corrupt:w*@1-2;die:frag[3]@*:0.2'
+
+Determinism: the plan is pure data — the same spec, labels, and
+attempt numbers always produce the same faults, so CI can assert exact
+retry/reissue counts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+__all__ = [
+    "DIE_EXIT_CODE",
+    "Fault",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFault",
+    "active_fault_plan",
+]
+
+#: exit status of a ``die`` fault — distinctive, so tests can tell an
+#: injected kill from an ordinary crash
+DIE_EXIT_CODE = 23
+
+_KINDS = ("crash", "hang", "corrupt", "die")
+_DEFAULT_PARAM = {"hang": 30.0, "die": 0.0, "crash": 0.0, "corrupt": 0.0}
+
+
+class FaultSpecError(ValueError):
+    """A ``QF_FAULTS`` / ``--inject-faults`` spec failed to parse."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``crash`` fault raises inside the task body."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection clause: do ``kind`` to ``target`` on ``attempts``."""
+
+    kind: str
+    target: str
+    attempt_lo: int = 1
+    attempt_hi: int | None = 1      # None = every attempt ('@*')
+    param: float = 0.0
+
+    def matches(self, label: str, attempt: int) -> bool:
+        if attempt < self.attempt_lo:
+            return False
+        if self.attempt_hi is not None and attempt > self.attempt_hi:
+            return False
+        if "*" in self.target or "?" in self.target:
+            return fnmatchcase(label, self.target)
+        return label == self.target
+
+
+def _parse_attempts(text: str) -> tuple[int, int | None]:
+    if text == "*":
+        return 1, None
+    try:
+        if "-" in text:
+            lo_s, hi_s = text.split("-", 1)
+            lo, hi = int(lo_s), int(hi_s)
+        else:
+            lo = hi = int(text)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad attempt selector {text!r} (want N, N-M, or *)"
+        ) from None
+    if lo < 1 or (hi is not None and hi < lo):
+        raise FaultSpecError(f"bad attempt range {text!r} (1-based, lo<=hi)")
+    return lo, hi
+
+
+def _parse_clause(clause: str) -> Fault:
+    head, sep, rest = clause.partition(":")
+    kind = head.strip()
+    if kind not in _KINDS:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r} in {clause!r}; "
+            f"expected one of {_KINDS}"
+        )
+    if not sep or not rest:
+        raise FaultSpecError(f"fault clause {clause!r} needs a ':target'")
+    # rest = target[@attempts][:param] — target may contain anything but
+    # ';', ':' and '@'
+    target, _, param_s = rest.partition(":")
+    param = _DEFAULT_PARAM[kind]
+    if param_s:
+        try:
+            param = float(param_s)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad numeric param {param_s!r} in {clause!r}"
+            ) from None
+        if param < 0:
+            raise FaultSpecError(f"negative param in {clause!r}")
+    target, at, attempts_s = target.partition("@")
+    target = target.strip()
+    if not target:
+        raise FaultSpecError(f"empty target in fault clause {clause!r}")
+    lo, hi = _parse_attempts(attempts_s.strip()) if at else (1, 1)
+    return Fault(kind=kind, target=target, attempt_lo=lo, attempt_hi=hi,
+                 param=param)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`Fault` clauses (first match wins)."""
+
+    faults: tuple[Fault, ...] = ()
+    spec: str = ""
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        clauses = [c.strip() for c in spec.split(";") if c.strip()]
+        return cls(faults=tuple(_parse_clause(c) for c in clauses),
+                   spec=spec)
+
+    def lookup(self, label: str, attempt: int) -> Fault | None:
+        for fault in self.faults:
+            if fault.matches(label, attempt):
+                return fault
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+# parse-once cache keyed by the env spec string, so repeated task
+# dispatch costs one dict lookup and tests can monkeypatch QF_FAULTS
+# mid-process
+_PLAN_CACHE: dict[str, FaultPlan] = {}
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The plan from ``QF_FAULTS``, or None when unset/empty."""
+    spec = os.environ.get("QF_FAULTS", "")
+    if not spec.strip():
+        return None
+    plan = _PLAN_CACHE.get(spec)
+    if plan is None:
+        plan = FaultPlan.parse(spec)
+        _PLAN_CACHE[spec] = plan
+    return plan
+
+
+def apply_pre_fault(fault: Fault | None) -> None:
+    """Run the pre-compute side of ``fault`` (crash / hang / die).
+
+    Called inside the task body, so a ``crash`` raise is captured by
+    the normal error path and attributed to the fragment.
+    """
+    if fault is None:
+        return
+    if fault.kind == "die":
+        if fault.param > 0:
+            time.sleep(fault.param)
+        os._exit(DIE_EXIT_CODE)
+    if fault.kind == "crash":
+        raise InjectedFault(
+            f"injected crash (fault {fault.kind}:{fault.target})"
+        )
+    if fault.kind == "hang":
+        time.sleep(fault.param)
+
+
+def apply_post_fault(fault: Fault | None, response) -> None:
+    """Run the post-compute side of ``fault`` (corrupt)."""
+    if fault is None or fault.kind != "corrupt" or response is None:
+        return
+    response.hessian[...] = float("nan")
+    response.meta["injected_corruption"] = True

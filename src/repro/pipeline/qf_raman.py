@@ -60,17 +60,26 @@ class PipelineResult:
     """Everything a QF-RAMAN run produces."""
 
     decomposition: QFDecomposition
-    responses: list[FragmentResponse]
+    responses: list[FragmentResponse | None]
     assembled: AssembledResponse
     spectrum: RamanSpectrum | None
     masses_amu: np.ndarray
     unique_pieces: int
     timer: Timer = field(default_factory=Timer)
     throughput: ThroughputReport | None = None
+    #: labels of pieces missing from the Eq. (1) assembly — non-empty
+    #: only after a fault-tolerant run under ``skip_and_report``
+    #: exhausted a fragment's retries (their ``responses`` entries are
+    #: None and the spectrum is a flagged partial result)
+    skipped_fragments: list[str] = field(default_factory=list)
 
     @property
     def natoms(self) -> int:
         return self.assembled.natoms
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.skipped_fragments)
 
 
 class QFRamanPipeline:
@@ -94,6 +103,8 @@ class QFRamanPipeline:
         executor: str | FragmentExecutor = "serial",
         max_workers: int | None = None,
         schwarz_cutoff: float = 1.0e-12,
+        resilience=None,
+        run_store=None,
     ):
         if protein is None and not waters:
             raise ValueError("pipeline needs a protein, waters, or both")
@@ -124,6 +135,14 @@ class QFRamanPipeline:
         self.executor = executor
         self.max_workers = max_workers
         self.schwarz_cutoff = schwarz_cutoff
+        #: a ResiliencePolicy (or True for defaults) and/or a RunStore
+        #: directory switch the run into fault-tolerant execution —
+        #: retries, timeouts, checkpoint/resume (docs/resilience.md);
+        #: ignored when ``executor`` is a ready instance
+        self.resilience = resilience
+        self.run_store = run_store
+        self.resilience_report: dict | None = None
+        self.skipped_fragments: list[str] = []
         self.throughput: ThroughputReport | None = None
         self.timer = Timer()
         self.cache = None
@@ -208,7 +227,9 @@ class QFRamanPipeline:
         if tasks:
             owns_executor = isinstance(self.executor, str)
             executor = (
-                make_executor(self.executor, max_workers=self.max_workers)
+                make_executor(self.executor, max_workers=self.max_workers,
+                              resilience=self.resilience,
+                              run_store=self.run_store)
                 if owns_executor else self.executor
             )
             self._log(
@@ -226,29 +247,48 @@ class QFRamanPipeline:
                 if owns_executor:
                     executor.close()
             self._log(self.throughput.summary())
+            self.resilience_report = self.throughput.resilience
+            if self.resilience_report is not None:
+                counters().inc("pipeline.resilient_runs")
             # fold the per-fragment sub-phase timers (scf_base,
             # scf_displaced, cphf_displaced, ...) into the pipeline
             # timer so phase_wall_s covers worker time, not just the
-            # parent's own sections
+            # parent's own sections (skipped fragments have no result)
             for task in tasks:
-                sub = computed[task.index].meta.get("timer")
+                resp = computed.get(task.index)
+                sub = resp.meta.get("timer") if resp is not None else None
                 if sub is not None:
                     self.timer.merge(sub)
             if self.cache is not None:
                 for task in tasks:
-                    self.cache.store(computed[task.index], self.basis_name,
-                                     self.delta)
+                    resp = computed.get(task.index)
+                    if resp is not None:
+                        self.cache.store(resp, self.basis_name, self.delta)
 
         # -- assemble in decomposition order ----------------------------------
-        responses: list[FragmentResponse] = []
+        # a fault-tolerant run under skip_and_report may come back with
+        # fragments missing; their entries (and any rigid duplicates
+        # rotated off them) become None and are flagged for the caller
+        responses: list[FragmentResponse | None] = []
+        self.skipped_fragments = []
         for k, (piece, entry) in enumerate(zip(pieces, plan)):
             kind = entry[0]
+            label = piece.label or f"piece-{k}"
             if kind == "compute":
-                responses.append(computed[k])
+                resp = computed.get(k)
+                if resp is None:
+                    self.skipped_fragments.append(label)
+                    counters().inc("pipeline.skipped_fragments")
+                responses.append(resp)
             elif kind == "cached":
                 responses.append(entry[1])
             else:  # rotate off the representative (computed or cached)
                 _kind, ref_idx, rot = entry
+                if responses[ref_idx] is None:
+                    self.skipped_fragments.append(label)
+                    counters().inc("pipeline.skipped_fragments")
+                    responses.append(None)
+                    continue
                 counters().inc("pipeline.rigid_rotations")
                 with self.timer.section("rotate_response"), \
                         get_tracer().span("rotate_response"):
@@ -256,6 +296,12 @@ class QFRamanPipeline:
                         rotate_response(responses[ref_idx], rot,
                                         piece.geometry)
                     )
+        if self.skipped_fragments:
+            self._log(
+                f"WARNING: assembling a PARTIAL spectrum — "
+                f"{len(self.skipped_fragments)} piece(s) missing: "
+                f"{', '.join(self.skipped_fragments)}"
+            )
         return responses, len(tasks)
 
     def masses(self) -> np.ndarray:
@@ -291,9 +337,17 @@ class QFRamanPipeline:
         run_span.set(pieces=len(decomposition.pieces),
                      natoms=decomposition.natoms_total)
         responses, unique = self.compute_responses(decomposition)
+        # skip_and_report degradation: assemble only the pieces that
+        # have a response; the rest are flagged on the result/manifest
+        present = [(p, r) for p, r in zip(decomposition.pieces, responses)
+                   if r is not None]
+        pieces_ok = [p for p, _ in present]
+        responses_ok = [r for _, r in present]
+        if self.skipped_fragments:
+            run_span.set(skipped=len(self.skipped_fragments))
         with self.timer.section("assemble"), get_tracer().span("assemble"):
             assembled = assemble_response(
-                decomposition.pieces, responses, decomposition.natoms_total
+                pieces_ok, responses_ok, decomposition.natoms_total
             )
         if sanitize_enabled():
             # the Eq. (1) signed sum must preserve Hermiticity and
@@ -317,7 +371,7 @@ class QFRamanPipeline:
                     )
                 elif solver == "lanczos":
                     h_mw = assemble_sparse_hessian(
-                        decomposition.pieces, responses,
+                        pieces_ok, responses_ok,
                         decomposition.natoms_total, masses_amu=masses,
                     )
                     spectrum = raman_spectrum_lanczos(
@@ -345,6 +399,7 @@ class QFRamanPipeline:
             unique_pieces=unique,
             timer=self.timer,
             throughput=self.throughput,
+            skipped_fragments=list(self.skipped_fragments),
         )
 
     def workload_sizes(self, decomposition: QFDecomposition | None = None

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Regenerate the golden reference spectra.
+
+The golden files pin the end-to-end numerical output of the pipeline
+(dense solver, STO-3G) for two fixture systems:
+
+* ``water1``    — a single water monomer,
+* ``waterbox2`` — ``water_box(2, seed=3)``: two waters, so the QF
+  decomposition contains a pair piece, monomer pieces, and signed
+  subtraction terms (Eq. 1).
+
+``tests/pipeline/test_golden_spectra.py`` compares every run against
+these files with tight tolerances (see ``assert_spectrum_matches``
+there). When an intentional physics change shifts the spectra, rerun
+
+    PYTHONPATH=src python tests/data/golden/regenerate.py
+
+from the repo root and commit the updated ``.npz`` files together with
+an explanation of why the numbers moved. Never regenerate to silence a
+regression you do not understand.
+
+This module is also imported (via ``importlib``) by the test suite so
+the fixture definitions and the spectral grid exist in exactly one
+place.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+
+#: spectral grid shared by the goldens and every test that compares
+#: against them — changing it invalidates the committed files
+OMEGA_CM1 = np.linspace(200.0, 4600.0, 550)
+SIGMA_CM1 = 20.0
+CASES = ("water1", "waterbox2")
+
+
+def build_pipeline(name: str, **kwargs):
+    """A fresh :class:`QFRamanPipeline` for the named fixture system."""
+    from repro.geometry.water import water_box, water_molecule
+    from repro.pipeline import QFRamanPipeline
+
+    if name == "water1":
+        return QFRamanPipeline(waters=[water_molecule()], **kwargs)
+    if name == "waterbox2":
+        return QFRamanPipeline(waters=water_box(2, seed=3), **kwargs)
+    raise KeyError(f"unknown golden case {name!r} (have {CASES})")
+
+
+def spectrum_arrays(result) -> dict[str, np.ndarray]:
+    """The comparable arrays of a PipelineResult's spectrum."""
+    sp = result.spectrum
+    out = {"omega_cm1": sp.omega_cm1, "intensity": sp.intensity}
+    if sp.frequencies_cm1 is not None:
+        out["frequencies_cm1"] = sp.frequencies_cm1
+    if sp.activities is not None:
+        out["activities"] = sp.activities
+    return out
+
+
+def compute(name: str) -> dict[str, np.ndarray]:
+    """Run the fixture pipeline serially and return its spectrum arrays."""
+    pipe = build_pipeline(name)
+    result = pipe.run(omega_cm1=OMEGA_CM1, sigma_cm1=SIGMA_CM1,
+                      solver="dense")
+    return spectrum_arrays(result)
+
+
+def golden_path(name: str) -> Path:
+    return HERE / f"{name}.npz"
+
+
+def main() -> None:
+    for name in CASES:
+        data = compute(name)
+        out = golden_path(name)
+        np.savez_compressed(out, **data)
+        shapes = {k: v.shape for k, v in data.items()}
+        print(f"wrote {out} {shapes}")
+
+
+if __name__ == "__main__":
+    main()

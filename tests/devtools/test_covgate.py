@@ -1,0 +1,129 @@
+"""Unit tests for the stdlib coverage gate (repro.devtools.covgate).
+
+The gate itself runs pytest; these tests exercise its pieces directly
+(line collection, the selective tracer, the percentage math) so they
+stay cheap and never nest a test session.
+"""
+
+import importlib.util
+import textwrap
+
+from repro.devtools.covgate import (
+    CoverageTracer,
+    collect_executable_lines,
+    coverage_percent,
+)
+
+_MODULE = textwrap.dedent("""\
+    CONST = 1
+
+
+    def covered():
+        a = 1
+        b = a + 1
+        return b
+
+
+    def uncovered():
+        x = 10
+        return x
+
+
+    def excluded():  # pragma: no cover
+        raise RuntimeError("never measured")
+""")
+
+
+def _write_module(tmp_path):
+    path = tmp_path / "mod_under_test.py"
+    path.write_text(_MODULE)
+    return path.resolve()
+
+
+def _import(path):
+    spec = importlib.util.spec_from_file_location("mod_under_test",
+                                                  str(path))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_collect_executable_lines(tmp_path):
+    path = _write_module(tmp_path)
+    lines = collect_executable_lines(path)
+    src = _MODULE.splitlines()
+    # both plain function bodies are executable ...
+    assert src.index("    a = 1") + 1 in lines
+    assert src.index("    x = 10") + 1 in lines
+    # ... module-level lines are not (they run at import, before any
+    # tracer can exist) ...
+    assert src.index("CONST = 1") + 1 not in lines
+    # ... and neither is the pragma-excluded function's body
+    assert src.index('    raise RuntimeError("never measured")') + 1 \
+        not in lines
+
+
+def test_line_level_pragma(tmp_path):
+    path = tmp_path / "m.py"
+    path.write_text(
+        "def f():\n"
+        "    a = 1\n"
+        "    b = 2  # pragma: no cover\n"
+        "    return a\n"
+    )
+    lines = collect_executable_lines(path.resolve())
+    assert 2 in lines and 4 in lines
+    assert 3 not in lines
+
+
+def test_tracer_records_only_target_files(tmp_path):
+    path = _write_module(tmp_path)
+    lines = collect_executable_lines(path)
+    tracer = CoverageTracer({str(path)})
+    with tracer:
+        mod = _import(path)       # module body runs under the tracer
+        assert mod.covered() == 2
+    hits = tracer.hits[str(path)]
+    src = _MODULE.splitlines()
+    assert src.index("    a = 1") + 1 in hits
+    assert src.index("    x = 10") + 1 not in hits
+    # this very test file executed under the tracer too, but was not
+    # a target, so nothing else was recorded
+    assert set(tracer.hits) == {str(path)}
+    pct = coverage_percent({str(path): lines}, tracer.hits)
+    assert 0.0 < pct < 100.0
+
+    with tracer:
+        mod.uncovered()
+    pct_all = coverage_percent({str(path): lines}, tracer.hits)
+    assert pct_all == 100.0
+
+
+def test_tracer_restores_previous_tracer(tmp_path):
+    """Nested tracers must not kill the outer one — the gate runs this
+    very test suite under its own tracer."""
+    import sys
+
+    events = []
+
+    def outer(frame, event, arg):
+        events.append(event)
+        return None
+
+    prev = sys.gettrace()
+    sys.settrace(outer)
+    try:
+        with CoverageTracer(set()):
+            assert sys.gettrace() is not outer
+        assert sys.gettrace() is outer
+    finally:
+        sys.settrace(prev)
+
+
+def test_coverage_percent_edge_cases():
+    assert coverage_percent({}, {}) == 100.0
+    assert coverage_percent({"f": set()}, {}) == 100.0
+    assert coverage_percent({"f": {1, 2}}, {"f": {1}}) == 50.0
+    assert coverage_percent({"f": {1, 2}}, {}) == 0.0
+    # hits outside the executable set (e.g. pragma lines) never help
+    assert coverage_percent({"f": {1}}, {"f": {2, 3}}) == 0.0

@@ -1,0 +1,44 @@
+"""Shared fixtures for the pipeline test suite.
+
+The golden fixture systems (and the spectral grid they are computed
+on) are defined once, in ``tests/data/golden/regenerate.py``; this
+conftest loads that script as a module so the regeneration path and
+the tests can never drift apart.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO_ROOT / "tests" / "data" / "golden"
+
+
+def load_golden_module():
+    spec = importlib.util.spec_from_file_location(
+        "golden_regenerate", GOLDEN_DIR / "regenerate.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="session")
+def golden():
+    """The ``tests/data/golden/regenerate.py`` module."""
+    return load_golden_module()
+
+
+@pytest.fixture(scope="session")
+def waterbox2_result(golden):
+    """One uninterrupted serial run of the two-water fixture system.
+
+    Shared by the golden-spectrum comparison, the fault-tolerance
+    partial-spectrum test, and the kill-mid-run/resume test (which all
+    need the same reference numbers), so the expensive pipeline runs
+    once per session.
+    """
+    pipe = golden.build_pipeline("waterbox2")
+    return pipe.run(omega_cm1=golden.OMEGA_CM1, sigma_cm1=golden.SIGMA_CM1,
+                    solver="dense")

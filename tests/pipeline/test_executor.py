@@ -115,6 +115,24 @@ def test_worker_exception_reraised_with_label():
             ex.run([task])
 
 
+def test_worker_death_attributed_to_fragment(monkeypatch):
+    """A hard worker death (injected die fault) must surface as a
+    labeled FragmentExecutorError naming the fragment and the phase —
+    not as a bare BrokenProcessPool."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    monkeypatch.setenv("QF_FAULTS", "die:doomed@*")
+    h2 = Geometry(["H", "H"],
+                  np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 1.4]]))
+    task = FragmentTask(index=0, label="doomed", geometry=h2,
+                        eri_mode="exact")
+    with make_executor("process", max_workers=1) as ex:
+        with pytest.raises(FragmentExecutorError,
+                           match=r"doomed.*died.*phase=process") as err:
+            ex.run([task])
+    assert not isinstance(err.value, BrokenProcessPool)
+
+
 def test_serial_executor_raises_with_label():
     bad = Geometry(["H"], np.zeros((1, 3)))
     task = FragmentTask(index=3, label="odd-electrons", geometry=bad)

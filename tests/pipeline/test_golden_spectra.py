@@ -1,0 +1,84 @@
+"""Golden-spectrum regression tests.
+
+Every run of the two fixture systems must reproduce the committed
+reference spectra in ``tests/data/golden/`` within tight tolerances.
+The goldens pin the *entire* chain — decomposition, DFPT responses,
+Eq. (1) assembly, dense diagonalization, broadening — so any change
+that silently shifts the physics fails here first.
+
+Tolerances: mode frequencies to 0.05 cm^-1, activities and broadened
+intensities to 1e-5 relative to the largest reference value. That is
+loose enough to survive BLAS/compiler differences and tight enough to
+catch a wrong sign, a dropped fragment, or a changed convention.
+
+To regenerate after an *intentional* physics change::
+
+    PYTHONPATH=src python tests/data/golden/regenerate.py
+
+and commit the .npz files with an explanation of the shift.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "data" / "golden"
+
+
+def assert_spectrum_matches(got: dict, ref, *, freq_atol=0.05, rel=1e-5):
+    """Compare a computed spectrum against a golden npz mapping."""
+    assert set(ref.keys()) <= set(got.keys()), (
+        f"missing arrays: {set(ref.keys()) - set(got.keys())}"
+    )
+    np.testing.assert_array_equal(
+        got["omega_cm1"], ref["omega_cm1"],
+        err_msg="spectral grid changed — regenerate the goldens",
+    )
+    np.testing.assert_allclose(
+        got["frequencies_cm1"], ref["frequencies_cm1"],
+        rtol=0.0, atol=freq_atol, err_msg="mode frequencies moved",
+    )
+    for key in ("activities", "intensity"):
+        scale = float(np.abs(ref[key]).max())
+        np.testing.assert_allclose(
+            got[key], ref[key], rtol=0.0, atol=rel * max(scale, 1e-30),
+            err_msg=f"{key} moved beyond {rel:g} of peak",
+        )
+
+
+def test_golden_files_committed():
+    for name in ("water1", "waterbox2"):
+        assert (GOLDEN_DIR / f"{name}.npz").is_file(), (
+            f"golden file {name}.npz missing — run "
+            f"tests/data/golden/regenerate.py"
+        )
+
+
+def test_water1_matches_golden(golden):
+    got = golden.compute("water1")
+    with np.load(golden.golden_path("water1")) as ref:
+        assert_spectrum_matches(got, ref)
+
+
+def test_waterbox2_matches_golden(golden, waterbox2_result):
+    got = golden.spectrum_arrays(waterbox2_result)
+    with np.load(golden.golden_path("waterbox2")) as ref:
+        assert_spectrum_matches(got, ref)
+
+
+def test_comparator_detects_drift(golden):
+    """The tolerance gate actually bites: a 0.1% intensity drift and a
+    0.2 cm^-1 frequency shift must both fail."""
+    with np.load(golden.golden_path("water1")) as ref:
+        base = {k: ref[k].copy() for k in ref.keys()}
+
+    drifted = dict(base)
+    drifted["intensity"] = base["intensity"] * 1.001
+    with pytest.raises(AssertionError, match="intensity"):
+        assert_spectrum_matches(drifted, base)
+
+    shifted = dict(base)
+    shifted["frequencies_cm1"] = base["frequencies_cm1"] + 0.2
+    with pytest.raises(AssertionError, match="frequencies"):
+        assert_spectrum_matches(shifted, base)
