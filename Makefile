@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: lint test test-all sanitize-smoke trace-demo faults-demo \
-	test-faults coverage-gate
+	test-faults coverage-gate bench-kernels
 
 # QF physics-aware linter (docs/static_analysis.md); fails on any new
 # unsuppressed finding — the same zero-findings bar the tier-1 test
@@ -56,6 +56,12 @@ test-faults:
 	QF_SANITIZE=1 $(PYTHON) -m pytest -x -q \
 		tests/pipeline/test_resilience.py \
 		tests/pipeline/test_runstore_properties.py
+
+# scalar-vs-batched integral kernel timings by angular class + the
+# per-task dispatch payload comparison; writes
+# benchmarks/output/bench_kernel_microbench.json (docs/performance.md)
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernel_microbench.py
 
 # line-coverage gate over src/repro/pipeline on the tier-1 suite
 # (stdlib tracer, no coverage.py needed — repro.devtools.covgate)

@@ -43,6 +43,15 @@ QF008 raw-clock          Direct ``time.perf_counter()`` /
                          Stopwatch / tracer instrumentation, so their
                          wall time is invisible to ``phase_wall_s``,
                          the span trace, and the run manifest.
+QF009 shell-loop         A python-level ``for`` loop over shells /
+                         primitive pairs inside :mod:`repro.integrals`.
+                         Per-pair python is the overhead the batched
+                         kernel layer (``repro.integrals.batched``)
+                         exists to remove; new hot-path loops belong
+                         there as array operations. Sanctioned scalar
+                         drivers (the McMurchie reference path, scalar
+                         scatter fallbacks, ordered-write scatters)
+                         are annotated ``# qf: shell-loop``.
 """
 
 from __future__ import annotations
@@ -81,6 +90,8 @@ RULES = {
     "QF008": ("raw-clock",
               "direct perf_counter call outside repro.utils.timing / "
               "repro.obs"),
+    "QF009": ("shell-loop",
+              "python-level loop over shells/primitives in repro.integrals"),
 }
 
 #: alias -> code (suppression comments accept either form)
@@ -95,6 +106,13 @@ _MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
 _RAW_CLOCK_NAMES = {"perf_counter", "perf_counter_ns"}
 #: path fragments whose files ARE the sanctioned timing layer
 _RAW_CLOCK_EXEMPT = ("utils/timing.py", "repro/obs/")
+#: iterable identifiers that mark a loop as per-shell / per-primitive
+_SHELL_LOOP_NAMES = {
+    "shells", "exps", "coefs", "prims", "primitives", "plist", "pairs",
+    "npair", "nprim",
+}
+#: path fragment gating QF009 to the integrals hot path
+_SHELL_LOOP_PATH = "integrals"
 
 
 def _raw_clock_exempt(path: str) -> bool:
@@ -347,6 +365,33 @@ class RuleVisitor(ast.NodeVisitor):
                 "repro.utils.timing or a tracer span so the wall time "
                 "reaches phase_wall_s and the trace; annotate true "
                 "exceptions with '# qf: raw-clock'",
+            )
+
+    # -- QF009: shell/primitive loops in the integrals hot path ------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_shell_loop(node)
+        self.generic_visit(node)
+
+    def _check_shell_loop(self, node: ast.For) -> None:
+        norm = self.path.replace("\\", "/")
+        if _SHELL_LOOP_PATH not in norm:
+            return
+        hits: set[str] = set()
+        for sub in ast.walk(node.iter):
+            if (isinstance(sub, ast.Attribute)
+                    and sub.attr in _SHELL_LOOP_NAMES):
+                hits.add(sub.attr)
+            elif isinstance(sub, ast.Name) and sub.id in _SHELL_LOOP_NAMES:
+                hits.add(sub.id)
+        if hits:
+            self._emit(
+                node, "QF009",
+                "python-level loop over "
+                f"{'/'.join(sorted(hits))} in the integrals hot path — "
+                "vectorize via repro.integrals.batched (class-grouped "
+                "pair blocks), or annotate a sanctioned scalar reference "
+                "path with '# qf: shell-loop'",
             )
 
     # -- QF007: missing __all__ --------------------------------------------

@@ -30,6 +30,15 @@ import numpy as np
 from scipy.special import gammainc, gammaln
 
 from repro.basis.gaussian import BasisSet, Shell
+from repro.integrals.batched import (
+    build_pair_blocks_batched,
+    kernels_mode,
+    scatter_eri_deriv,
+    scatter_ordered,
+    scatter_pairs_2c,
+    scatter_pairs_aux,
+    scatter_symmetric,
+)
 from repro.obs.counters import counters
 from repro.obs.tracer import get_tracer
 
@@ -294,7 +303,7 @@ def build_pair_blocks(
         pairs = [(i, j) for i in range(ns) for j in range(i, ns)]
     if screen > 0.0:
         kept = []
-        for (i, j) in pairs:
+        for (i, j) in pairs:  # qf: shell-loop — O(npair) screening prepass, not the kernel
             si, sj = shells[i], shells[j]
             d2 = float(np.sum((si.center - sj.center) ** 2))
             if d2 == 0.0:  # qf: exact-zero — same-center shell pair
@@ -306,7 +315,7 @@ def build_pair_blocks(
                 kept.append((i, j))
         pairs = kept
     groups: dict[tuple[int, int, int, int], list[tuple[int, int]]] = {}
-    for (i, j) in pairs:
+    for (i, j) in pairs:  # qf: shell-loop — class grouping prepass, not the kernel
         si, sj = shells[i], shells[j]
         if canonicalize and si.l < sj.l:
             i, j = j, i
@@ -329,7 +338,7 @@ def build_pair_blocks(
         ab_vec = np.empty((npair, 3))
         centers_a = np.empty((npair, 3))
         pc = np.empty((npair, k2, 3))
-        for r, (i, j) in enumerate(plist):
+        for r, (i, j) in enumerate(plist):  # qf: shell-loop — one-time pair-block pack (cached per engine)
             si, sj = shells[i], shells[j]
             ea, eb = np.meshgrid(si.exps, sj.exps, indexing="ij")
             ca, cb = np.meshgrid(si.coefs, sj.coefs, indexing="ij")
@@ -416,12 +425,17 @@ class IntegralEngine:
     """
 
     def __init__(self, basis: BasisSet, charges: np.ndarray, coords: np.ndarray,
-                 schwarz_cutoff: float = 0.0):
+                 schwarz_cutoff: float = 0.0, kernels: str | None = None):
         self.basis = basis
         self.charges = np.asarray(charges, dtype=float).ravel()
         self.coords = np.asarray(coords, dtype=float).reshape(-1, 3)
         self.nbf = basis.nbf
-        self.blocks = build_pair_blocks(basis.shells, basis.offsets)
+        #: "scalar" | "batched" — resolved from the argument or QF_KERNELS
+        #: (docs/performance.md); both modes are bit-identical, batched
+        #: replaces the per-pair python loops with packed array kernels
+        self.kernels = kernels_mode(kernels)
+        counters().inc(f"kernels.engines_{self.kernels}")
+        self.blocks = self._build_blocks(basis.shells, basis.offsets)
         self.schwarz_cutoff = float(schwarz_cutoff)
         #: pair-combination counters: "evaluated" + "screened" = "total"
         self.screen_stats = {
@@ -430,6 +444,16 @@ class IntegralEngine:
             "pair_combinations_screened": 0,
         }
         self._schwarz_self: list[np.ndarray] | None = None
+
+    def _build_blocks(self, shells, offsets, pairs=None, canonicalize=True):
+        """Pair blocks through the mode-selected builder (same output)."""
+        if self.kernels == "batched":
+            return build_pair_blocks_batched(
+                shells, offsets, pairs, canonicalize=canonicalize
+            )
+        return build_pair_blocks(
+            shells, offsets, pairs, canonicalize=canonicalize
+        )
 
     # -- Schwarz screening ---------------------------------------------------
 
@@ -481,7 +505,7 @@ class IntegralEngine:
                 vi[i, j] = min(v + vv, ltot)
         out = np.empty(npair)
         chunk = max(1, element_budget // max(1, k2 * k2 * nk))
-        for start in range(0, npair, chunk):
+        for start in range(0, npair, chunk):  # qf: shell-loop — chunked over the element budget; body vectorized
             stop = min(start + chunk, npair)
             ps = p[start:stop]
             pcs = pc[start:stop]
@@ -525,6 +549,9 @@ class IntegralEngine:
                     ex[0][:, ax, bx, 0] * ex[1][:, ay, by, 0] * ex[2][:, az, bz, 0]
                 ) * pref
                 out[:, ia, ib] = prim.reshape(blk.npair, blk.k2).sum(axis=1)
+        self._record_class_gemm(
+            blk.npair, len(comps_a) * len(comps_b), 1, blk.k2
+        )
         return out
 
     def kinetic(self) -> np.ndarray:
@@ -555,6 +582,9 @@ class IntegralEngine:
                             term = term - 0.5 * cb[d] * (cb[d] - 1) * s00(ca, cbm)
                     prim = term * pref
                     vals[:, ia, ib] = prim.reshape(blk.npair, blk.k2).sum(axis=1)
+            self._record_class_gemm(
+                blk.npair, len(comps_a) * len(comps_b), 1, blk.k2
+            )
             self._scatter(t, blk, vals)
         return t
 
@@ -592,6 +622,7 @@ class IntegralEngine:
         # prim-level value per nucleus: -(2 pi / p) * z_C * sum_k e3 * R
         pref = 2.0 * math.pi / blk.p
         contrib = np.einsum("nck,nak->nac", e3, rsel)  # (nprim, natm, ncomp)
+        self._record_class_gemm(nprim, natm, e3.shape[1], len(combos))
         contrib *= pref[:, None, None]
         contrib = contrib.reshape(blk.npair, blk.k2, natm, -1).sum(axis=1)
         na = len(components(blk.la))
@@ -636,20 +667,35 @@ class IntegralEngine:
                                 e_parts.append(e0)
                         prim = e_parts[0] * e_parts[1] * e_parts[2] * pref
                         vals[:, ia, ib] = prim.reshape(blk.npair, blk.k2).sum(axis=1)
+                self._record_class_gemm(
+                    blk.npair, len(comps_a) * len(comps_b), 1, blk.k2
+                )
                 self._scatter(out[d], blk, vals)
         return out
 
     # -- scatter helpers ----------------------------------------------------
 
     def _scatter(self, target: np.ndarray, blk: PairBlock, vals: np.ndarray) -> None:
-        """Accumulate (npair, na, nb) values into a symmetric matrix."""
+        """Place (npair, na, nb) values into a symmetric matrix."""
+        if self.kernels == "batched":
+            scatter_symmetric(target, blk, vals)
+            return
         na = vals.shape[1]
         nb = vals.shape[2]
-        for r in range(blk.npair):
+        for r in range(blk.npair):  # qf: shell-loop — chunked over the element budget; body vectorized
             oa, ob = blk.off_a[r], blk.off_b[r]
             target[oa: oa + na, ob: ob + nb] = vals[r]
             if oa != ob:
                 target[ob: ob + nb, oa: oa + na] = vals[r].T
+
+    def _record_class_gemm(self, batch: int, m: int, n: int, k: int) -> None:
+        """Account one class contraction through the batched-GEMM seam."""
+        if self.kernels == "batched":
+            # deferred: repro.kernels pulls in the DFPT worker stack,
+            # which imports the SCF layer, which imports this module
+            from repro.kernels.batched import kernel_seam
+
+            kernel_seam().record_contraction(batch, m, n, k)
 
     # -- two-electron: generic Coulomb interaction of two pair sets ---------
 
@@ -757,7 +803,7 @@ class IntegralEngine:
         bchunk = max(1, element_budget // max(1, ket.nprim))
         bchunk = max(bra.k2, (bchunk // bra.k2) * bra.k2)
         npairs_per_chunk = max(1, bchunk // bra.k2)
-        for start in range(0, bra.npair, npairs_per_chunk):
+        for start in range(0, bra.npair, npairs_per_chunk):  # qf: shell-loop — scalar reference scatter
             stop = min(start + npairs_per_chunk, bra.npair)
             bs = slice(start * bra.k2, stop * bra.k2)
             nbp = (stop - start) * bra.k2
@@ -777,6 +823,12 @@ class IntegralEngine:
             vals = np.einsum(
                 "xpak,pqkm,qcm->xpaqc", e3b[:, bs], rsel, e3k, optimize=True
             )
+            # account the einsum as its two-GEMM decomposition: one
+            # batched GEMM over bra primitives, one over ket primitives
+            ncb = len(combos_b)
+            nck = len(combos_k)
+            self._record_class_gemm(nbp, nvar * nab, ket.nprim * nck, ncb)
+            self._record_class_gemm(ket.nprim, nvar * nbp * nab, ncd, nck)
             vals = vals.reshape(
                 nvar, stop - start, bra.k2, nab, ket.npair, ket.k2, ncd
             ).sum(axis=(2, 5))
@@ -808,11 +860,17 @@ class IntegralEngine:
         return out
 
     def _scatter_eri(self, out, bra: PairBlock, ket: PairBlock, vals) -> None:
+        # Deliberately scalar in BOTH kernel modes: the 8-fold symmetry
+        # images overlap whenever a pair repeats across the bra/ket block
+        # combination (e.g. the bra==ket diagonal), and the result relies
+        # on this loop's last-write-wins order. numpy fancy assignment
+        # leaves the duplicate-index write order undefined, so a flat-plan
+        # scatter here could silently differ between numpy builds.
         na, nb = vals.shape[1], vals.shape[2]
         nc, nd = vals.shape[4], vals.shape[5]
-        for rb in range(bra.npair):
+        for rb in range(bra.npair):  # qf: shell-loop — overlapping-image scatter needs ordered writes
             oa, ob = bra.off_a[rb], bra.off_b[rb]
-            for rk in range(ket.npair):
+            for rk in range(ket.npair):  # qf: shell-loop — overlapping-image scatter needs ordered writes
                 oc, od = ket.off_a[rk], ket.off_b[rk]
                 blockv = vals[rb, :, :, rk, :, :]
                 for (i0, j0, v4) in (
@@ -844,7 +902,7 @@ def single_shell_blocks(shells: list[Shell], offsets: list[int]) -> list[PairBlo
     2- and 3-center integrals for free.
     """
     groups: dict[tuple[int, int], list[int]] = {}
-    for idx, sh in enumerate(shells):
+    for idx, sh in enumerate(shells):  # qf: shell-loop — class grouping prepass, not the kernel
         groups.setdefault((sh.l, len(sh.exps)), []).append(idx)
     blocks: list[PairBlock] = []
     for (l, k), idxs in sorted(groups.items()):
@@ -943,7 +1001,7 @@ def _e3_deriv_components(
 def _ordered_blocks(engine: "IntegralEngine") -> list[PairBlock]:
     ns = len(engine.basis.shells)
     pairs = [(i, j) for i in range(ns) for j in range(ns)]
-    return build_pair_blocks(
+    return engine._build_blocks(
         engine.basis.shells, engine.basis.offsets, pairs, canonicalize=False
     )
 
@@ -1090,9 +1148,12 @@ class _DerivMixin:
     def _scatter_ordered(self, target: np.ndarray, blk: PairBlock,
                          vals: np.ndarray) -> None:
         """Scatter ordered-pair values (no symmetrization)."""
+        if self.kernels == "batched":
+            scatter_ordered(target, blk, vals)
+            return
         na = vals.shape[1]
         nb = vals.shape[2]
-        for r in range(blk.npair):
+        for r in range(blk.npair):  # qf: shell-loop — scalar reference scatter
             oa, ob = blk.off_a[r], blk.off_b[r]
             target[oa: oa + na, ob: ob + nb] = vals[r]
 
@@ -1127,9 +1188,9 @@ def _df_deriv_methods():
                 nc = len(components(ket.la))
                 vals = self.coulomb_block_deriv(bra, ket)
                 # vals: (3, npb, na, nb, npk, nc, 1)
-                for rb in range(bra.npair):
+                for rb in range(bra.npair):  # qf: shell-loop — scalar reference scatter
                     oa, ob = bra.off_a[rb], bra.off_b[rb]
-                    for rk in range(ket.npair):
+                    for rk in range(ket.npair):  # qf: shell-loop — scalar reference scatter
                         oc = ket.off_a[rk]
                         out[:, oa: oa + na, ob: ob + nb, oc: oc + nc] = vals[
                             :, rb, :, :, rk, :, 0
@@ -1145,9 +1206,14 @@ def _df_deriv_methods():
             for ket in aux_blocks:
                 nc = len(components(ket.la))
                 vals = self.coulomb_block_deriv(bra, ket)
-                for rb in range(bra.npair):
+                if self.kernels == "batched":
+                    for d in range(3):
+                        scatter_pairs_2c(out[d], bra, ket,
+                                         vals[d, :, :, 0, :, :, 0])
+                    continue
+                for rb in range(bra.npair):  # qf: shell-loop — scalar reference scatter
                     oa = bra.off_a[rb]
-                    for rk in range(ket.npair):
+                    for rk in range(ket.npair):  # qf: shell-loop — scalar reference scatter
                         oc = ket.off_a[rk]
                         out[:, oa: oa + na, oc: oc + nc] = vals[:, rb, :, 0, rk, :, 0]
         return out
@@ -1167,9 +1233,13 @@ def _df_deriv_methods():
                 nc = len(components(ket.la))
                 nd = len(components(ket.lb))
                 vals = self.coulomb_block_deriv(bra, ket)
-                for rb in range(bra.npair):
+                if self.kernels == "batched":
+                    for d in range(3):
+                        scatter_eri_deriv(out[d], bra, ket, vals[d])
+                    continue
+                for rb in range(bra.npair):  # qf: shell-loop — scalar reference scatter
                     oa, ob = bra.off_a[rb], bra.off_b[rb]
-                    for rk in range(ket.npair):
+                    for rk in range(ket.npair):  # qf: shell-loop — scalar reference scatter
                         oc, od = ket.off_a[rk], ket.off_b[rk]
                         v = vals[:, rb, :, :, rk, :, :]
                         out[:, oa: oa + na, ob: ob + nb,
@@ -1273,9 +1343,15 @@ def _three_center_deriv_fast(self, aux_blocks: list[PairBlock], naux: int
         for ket in aux_blocks:
             nc = len(components(ket.la))
             vals = self._coulomb_block_deriv_ab(bra, ket)
-            for rb in range(bra.npair):
+            if self.kernels == "batched":
+                for d in range(3):
+                    scatter_pairs_aux(out[d], bra, ket,
+                                      vals[d, :, :, :, :, :, 0],
+                                      vals_t=vals[3 + d, :, :, :, :, :, 0])
+                continue
+            for rb in range(bra.npair):  # qf: shell-loop — scalar reference scatter
                 oa, ob = bra.off_a[rb], bra.off_b[rb]
-                for rk in range(ket.npair):
+                for rk in range(ket.npair):  # qf: shell-loop — scalar reference scatter
                     oc = ket.off_a[rk]
                     da = vals[0:3, rb, :, :, rk, :, 0]
                     out[:, oa: oa + na, ob: ob + nb, oc: oc + nc] = da

@@ -15,11 +15,117 @@ Helgaker, Jørgensen, Olsen, "Molecular Electronic-Structure Theory".
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 from scipy.special import gammainc, gamma as gamma_fn
 
 from repro.basis.gaussian import Shell
+from repro.obs.counters import counters
+
+
+# ---------------------------------------------------------------------------
+# bounded recursion memos
+# ---------------------------------------------------------------------------
+
+MEMO_ENV = "QF_MEMO_SIZE"
+_MEMO_DEFAULT = 4096
+
+#: module-aggregate memo statistics; shipped to :mod:`repro.obs`
+#: counters by :func:`flush_memo_stats` at shell granularity (never per
+#: primitive — the audit must not cost what it measures)
+_MEMO_STATS = {"hits": 0, "misses": 0, "evictions": 0, "peak": 0}
+_MEMO_PEAK_SHIPPED = 0
+
+
+def memo_bound() -> int:
+    """Per-memo entry bound: ``QF_MEMO_SIZE`` env override, default 4096."""
+    raw = os.environ.get(MEMO_ENV, "")
+    if not raw:
+        return _MEMO_DEFAULT
+    try:
+        bound = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{MEMO_ENV} must be a positive integer, got {raw!r}"
+        ) from exc
+    if bound < 1:
+        raise ValueError(f"{MEMO_ENV} must be >= 1, got {bound}")
+    return bound
+
+
+class BoundedMemo(dict):
+    """LRU-bounded dict for the E/R recursion memos.
+
+    The memos are already scoped to a single primitive evaluation (keys
+    are small integer tuples, so a handful of entries each), but a
+    pathological angular momentum or a buggy caller could still grow one
+    without limit; this bound makes that impossible and auditable. On a
+    hit the entry is refreshed (true LRU); when full, the least recently
+    used entry is evicted. Hits/misses/evictions/peak-size aggregate
+    into module stats, surfaced as ``mcmurchie.memo_*`` counters.
+    """
+
+    __slots__ = ("maxsize",)
+
+    def __init__(self, maxsize: int | None = None):
+        super().__init__()
+        self.maxsize = memo_bound() if maxsize is None else maxsize
+
+    def get(self, key, default=None):
+        try:
+            val = super().pop(key)
+        except KeyError:
+            _MEMO_STATS["misses"] += 1
+            return default
+        # re-insert: dict preserves insertion order, so the newest entry
+        # moves to the back and front-of-dict is always the LRU victim
+        super().__setitem__(key, val)
+        _MEMO_STATS["hits"] += 1
+        return val
+
+    def __setitem__(self, key, val):
+        if key not in self and len(self) >= self.maxsize:
+            del self[next(iter(self))]
+            _MEMO_STATS["evictions"] += 1
+        super().__setitem__(key, val)
+        if len(self) > _MEMO_STATS["peak"]:
+            _MEMO_STATS["peak"] = len(self)
+
+
+def memo_stats() -> dict[str, int]:
+    """Snapshot of the module-aggregate memo statistics."""
+    return dict(_MEMO_STATS)
+
+
+def reset_memo_stats() -> None:
+    """Zero the aggregate memo statistics (tests/benchmarks)."""
+    global _MEMO_PEAK_SHIPPED
+    for key in _MEMO_STATS:
+        _MEMO_STATS[key] = 0
+    _MEMO_PEAK_SHIPPED = 0
+
+
+def flush_memo_stats() -> None:
+    """Ship aggregate memo stats into the :mod:`repro.obs` registry.
+
+    ``mcmurchie.memo_hits`` / ``memo_misses`` / ``memo_evictions`` are
+    monotonic totals; ``mcmurchie.memo_peak_entries`` tracks the largest
+    single memo seen (shipped as increments so the inc-only registry
+    converges to the max). Called from the contracted-shell drivers, so
+    steady-state cost is one dict read per shell block.
+    """
+    global _MEMO_PEAK_SHIPPED
+    reg = counters()
+    for name in ("hits", "misses", "evictions"):
+        val = _MEMO_STATS[name]
+        if val:
+            reg.inc(f"mcmurchie.memo_{name}", val)
+            _MEMO_STATS[name] = 0
+    if _MEMO_STATS["peak"] > _MEMO_PEAK_SHIPPED:
+        reg.inc("mcmurchie.memo_peak_entries",
+                _MEMO_STATS["peak"] - _MEMO_PEAK_SHIPPED)
+        _MEMO_PEAK_SHIPPED = _MEMO_STATS["peak"]
 
 
 # ---------------------------------------------------------------------------
@@ -73,7 +179,7 @@ def _e_memo(i: int, j: int, t: int, qx: float, a: float, b: float,
 
 def _e_cached(i: int, j: int, t: int, qx: float, a: float, b: float) -> float:
     """Single E coefficient with a fresh per-call memo (compat shim)."""
-    return _e_memo(i, j, t, qx, a, b, {})
+    return _e_memo(i, j, t, qx, a, b, BoundedMemo())
 
 
 def hermite_e(i: int, j: int, t: int, qx: float, a: float, b: float,
@@ -84,7 +190,7 @@ def hermite_e(i: int, j: int, t: int, qx: float, a: float, b: float,
     ``memo`` (optional) shares recursion work across calls with the
     same (qx, a, b) — callers evaluating many t values pass one dict.
     """
-    return _e_memo(i, j, t, qx, a, b, {} if memo is None else memo)
+    return _e_memo(i, j, t, qx, a, b, BoundedMemo() if memo is None else memo)
 
 
 # ---------------------------------------------------------------------------
@@ -123,7 +229,7 @@ def _r_memo(t: int, u: int, v: int, n: int, p: float,
 def _r_cached(t: int, u: int, v: int, n: int, p: float,
               x: float, y: float, z: float) -> float:
     """Single R entry with a fresh per-call memo (compat shim)."""
-    return _r_memo(t, u, v, n, p, x, y, z, {})
+    return _r_memo(t, u, v, n, p, x, y, z, BoundedMemo())
 
 
 def hermite_r(t: int, u: int, v: int, p: float, pq: np.ndarray,
@@ -134,7 +240,7 @@ def hermite_r(t: int, u: int, v: int, p: float, pq: np.ndarray,
     the same (p, PQ) — callers sweeping t/u/v pass one dict.
     """
     return _r_memo(t, u, v, 0, p, float(pq[0]), float(pq[1]), float(pq[2]),
-                   {} if memo is None else memo)
+                   BoundedMemo() if memo is None else memo)
 
 
 def clear_caches() -> None:
@@ -181,7 +287,8 @@ def nuclear_prim(a, lmn1, ra, b, lmn2, rb, rc) -> float:
     p = a + b
     cp = (a * np.asarray(ra) + b * np.asarray(rb)) / p
     pc = cp - np.asarray(rc)
-    ex_memo, ey_memo, ez_memo, r_memo = {}, {}, {}, {}
+    ex_memo, ey_memo, ez_memo, r_memo = (
+        BoundedMemo(), BoundedMemo(), BoundedMemo(), BoundedMemo())
     px, py, pz = float(pc[0]), float(pc[1]), float(pc[2])
     out = 0.0
     for t in range(lmn1[0] + lmn2[0] + 1):
@@ -212,9 +319,9 @@ def eri_prim(a, lmn1, ra, b, lmn2, rb, c, lmn3, rc, d, lmn4, rd) -> float:
     pq = rp - rq
     # one memo per 1D E series and one for the shared R recursion: all
     # calls below share (exponents, separations), so keys are pure ints
-    e1m = ({}, {}, {})
-    e2m = ({}, {}, {})
-    r_memo: dict = {}
+    e1m = (BoundedMemo(), BoundedMemo(), BoundedMemo())
+    e2m = (BoundedMemo(), BoundedMemo(), BoundedMemo())
+    r_memo: dict = BoundedMemo()
     qx, qy, qz = float(pq[0]), float(pq[1]), float(pq[2])
     out = 0.0
     for t in range(lmn1[0] + lmn2[0] + 1):
@@ -284,10 +391,11 @@ def _contract_pair(sha: Shell, shb: Shell, prim_fn) -> np.ndarray:
     for ia, lmn1 in enumerate(sha.components):
         for ib, lmn2 in enumerate(shb.components):
             val = 0.0
-            for ca, aa in zip(sha.coefs, sha.exps):
-                for cb, ab in zip(shb.coefs, shb.exps):
+            for ca, aa in zip(sha.coefs, sha.exps):  # qf: shell-loop — scalar reference driver
+                for cb, ab in zip(shb.coefs, shb.exps):  # qf: shell-loop — scalar reference driver
                     val += ca * cb * prim_fn(aa, lmn1, sha.center, ab, lmn2, shb.center)
             out[ia, ib] = val
+    flush_memo_stats()
     return out
 
 
@@ -324,10 +432,10 @@ def eri_shell(sha: Shell, shb: Shell, shc: Shell, shd: Shell) -> np.ndarray:
             for ic, l3 in enumerate(shc.components):
                 for id_, l4 in enumerate(shd.components):
                     val = 0.0
-                    for ca, aa in zip(sha.coefs, sha.exps):
-                        for cb, ab in zip(shb.coefs, shb.exps):
-                            for cc, ac in zip(shc.coefs, shc.exps):
-                                for cd, ad in zip(shd.coefs, shd.exps):
+                    for ca, aa in zip(sha.coefs, sha.exps):  # qf: shell-loop — scalar reference driver
+                        for cb, ab in zip(shb.coefs, shb.exps):  # qf: shell-loop — scalar reference driver
+                            for cc, ac in zip(shc.coefs, shc.exps):  # qf: shell-loop — scalar reference driver
+                                for cd, ad in zip(shd.coefs, shd.exps):  # qf: shell-loop — scalar reference driver
                                     val += (
                                         ca * cb * cc * cd
                                         * eri_prim(
@@ -336,4 +444,5 @@ def eri_shell(sha: Shell, shb: Shell, shc: Shell, shd: Shell) -> np.ndarray:
                                         )
                                     )
                     out[ia, ib, ic, id_] = val
+    flush_memo_stats()
     return out

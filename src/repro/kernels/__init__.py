@@ -17,7 +17,7 @@ from repro.kernels.strength_reduction import (
     rho1_gradient_naive,
     rho1_gradient_symmetric,
 )
-from repro.kernels.batched import BatchedGemmExecutor, pad_to_stride
+from repro.kernels.batched import BatchedGemmExecutor, kernel_seam, pad_to_stride
 from repro.kernels.worker import DFPTCycleResult, run_dfpt_cycle
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "rho1_gradient_naive",
     "rho1_gradient_symmetric",
     "BatchedGemmExecutor",
+    "kernel_seam",
     "pad_to_stride",
     "DFPTCycleResult",
     "run_dfpt_cycle",

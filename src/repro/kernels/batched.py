@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.counters import counters
 from repro.utils.flops import FlopCounter, gemm_flops
 
 
@@ -103,6 +104,38 @@ class BatchedGemmExecutor:
         self._requests.clear()
         return results  # type: ignore[return-value]
 
+    def record_contraction(self, batch: int, m: int, n: int, k: int,
+                           label: str = "class") -> None:
+        """Account one already-executed class contraction as a batched GEMM.
+
+        The integral engine evaluates each angular-momentum class with a
+        single vectorized einsum — one batched GEMM per class in the
+        paper's elastic-offload picture. Padding the executed arrays to
+        the stride would change the BLAS reduction tree and break the
+        scalar/batched bit-identity promise, so the contraction runs
+        unpadded and this method records both sides of the ledger:
+        useful FLOPs at the true shapes, padded FLOPs at the
+        stride-rounded shapes an accelerator batch would launch.
+        Mirrored into the run-wide :mod:`repro.obs` counter registry
+        (``kernels.*``; see docs/performance.md).
+        """
+        if batch <= 0:
+            return
+        useful = batch * gemm_flops(m, n, k)
+        padded = batch * gemm_flops(
+            pad_to_stride(m, self.stride),
+            pad_to_stride(n, self.stride),
+            pad_to_stride(k, self.stride),
+        )
+        self.flops.add("useful", useful)
+        self.flops.add("padded", padded)
+        self.batches_executed += 1
+        reg = counters()
+        reg.inc("kernels.class_gemms")
+        reg.inc("kernels.gemms_batched", batch)
+        reg.inc("kernels.useful_flops", useful)
+        reg.inc("kernels.padded_flops", padded)
+
     def padding_overhead(self) -> float:
         """padded/useful FLOP ratio of the batched groups (1.0 = none)."""
         useful = self.flops.total("useful")
@@ -110,3 +143,20 @@ class BatchedGemmExecutor:
         if padded == 0:
             return 1.0
         return padded / max(useful, 1)
+
+
+_KERNEL_SEAM: BatchedGemmExecutor | None = None
+
+
+def kernel_seam() -> BatchedGemmExecutor:
+    """Process-global executor seam the integral engine accounts through.
+
+    One registry per process (worker counters travel back to the parent
+    through the telemetry shipment like every other counter), so the
+    padding-overhead ratio in :meth:`BatchedGemmExecutor.padding_overhead`
+    aggregates over a whole run.
+    """
+    global _KERNEL_SEAM
+    if _KERNEL_SEAM is None:
+        _KERNEL_SEAM = BatchedGemmExecutor()
+    return _KERNEL_SEAM

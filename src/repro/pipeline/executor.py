@@ -56,6 +56,7 @@ from repro.pipeline.faults import (
     apply_post_fault,
     apply_pre_fault,
 )
+from repro.pipeline.shm import pack_tasks, rebuild_task, shm_enabled
 from repro.utils.timing import Stopwatch
 
 
@@ -160,8 +161,8 @@ class FragmentExecutorError(RuntimeError):
         super().__init__(msg)
 
 
-def _run_task(task: FragmentTask) -> FragmentTaskResult:
-    """Execute one task, capturing errors instead of raising.
+def _run_task(task: "FragmentTask | tuple") -> FragmentTaskResult:
+    """Execute one task (or shm wire tuple), capturing errors not raising.
 
     Module-level so it pickles into worker processes; the parent turns
     a captured error into :class:`FragmentExecutorError`. Telemetry
@@ -169,9 +170,14 @@ def _run_task(task: FragmentTask) -> FragmentTaskResult:
     captured by the shipment and travels back inside the result.
     """
     sw = Stopwatch()
-    plan = active_fault_plan()
-    fault = plan.lookup(task.label, task.attempt) if plan is not None else None
     with telemetry_shipment() as shipment:
+        if not isinstance(task, FragmentTask):
+            # shared-memory wire tuple: rebuild inside the shipment so
+            # the attach/rebuild counters travel back to the parent
+            task = rebuild_task(task)
+        plan = active_fault_plan()
+        fault = plan.lookup(task.label, task.attempt) \
+            if plan is not None else None
         with get_tracer().span(
             "fragment", label=task.label, natoms=task.natoms,
             attempt=task.attempt,
@@ -210,6 +216,17 @@ def _run_task(task: FragmentTask) -> FragmentTaskResult:
 
 def _run_chunk(tasks: list[FragmentTask]) -> list[FragmentTaskResult]:
     return [_run_task(t) for t in tasks]
+
+
+def _run_shm_chunk(wires: list) -> list[FragmentTaskResult]:
+    """Worker entry for shared-memory dispatch: wire tuples in, results out.
+
+    Each :class:`~repro.pipeline.shm.ShmTaskDescriptor` wire tuple is
+    rebuilt into a bit-identical ``FragmentTask`` from the arena mapped
+    into this worker (attached once per process), so the compute path
+    is the same as pickled dispatch — only the transport differs.
+    """
+    return [_run_task(w) for w in wires]
 
 
 def largest_first(tasks: list[FragmentTask]) -> list[FragmentTask]:
@@ -388,13 +405,29 @@ class ProcessExecutor(FragmentExecutor):
 
     def run(self, tasks):
         ordered = largest_first(tasks)
-        chunks = [
-            ordered[i: i + self.chunksize]
-            for i in range(0, len(ordered), self.chunksize)
-        ]
         sw = Stopwatch()
+        # shared-memory dispatch (QF_SHM, default on): geometry arrays
+        # go into one arena, the pool receives index-only descriptors —
+        # kilobytes per task instead of a pickled Geometry. The arena
+        # outlives every submission and is unlinked in the finally.
+        arena = None
+        if shm_enabled() and ordered:
+            arena, descs = pack_tasks(ordered)
+            units, entry = descs, _run_shm_chunk
+        else:
+            units, entry = ordered, _run_chunk
+        chunks = [
+            units[i: i + self.chunksize]
+            for i in range(0, len(units), self.chunksize)
+        ]
         results: list[FragmentTaskResult] = []
-        pending = {self._pool.submit(_run_chunk, c): c for c in chunks}
+        pending = {
+            self._pool.submit(
+                entry,
+                [d.to_wire() for d in c] if arena is not None else c,
+            ): c
+            for c in chunks
+        }
         try:
             while pending:
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -419,6 +452,9 @@ class ProcessExecutor(FragmentExecutor):
             for fut in pending:
                 fut.cancel()
             raise
+        finally:
+            if arena is not None:
+                arena.close()
         responses = {r.index: r.response for r in results}
         if determinism_check_enabled():
             verify_determinism(tasks, responses, phase="process")

@@ -1,0 +1,302 @@
+"""Zero-copy task dispatch over POSIX shared memory (``QF_SHM``).
+
+A :class:`~repro.pipeline.executor.FragmentTask` pickles its whole
+:class:`~repro.geometry.atoms.Geometry` — coordinate array, symbol
+list, per-atom label dicts — plus every config scalar into every
+worker submission. For the fragment counts QF decomposition produces,
+that serialization is pure overhead: the geometry is immutable for the
+lifetime of a run, the config fields are run constants, and
+``benchmarks/output/bench_parallel_pipeline.json`` showed the process
+backend losing to serial with ~1.0 worker utilization — the workers
+were busy deserializing, not idle.
+
+This module ships the bulk once instead. The parent packs every
+task's coordinates (float64), element symbols (fixed-width bytes) and
+the run's distinct task configs (one pickled blob, indexed) into one
+:class:`multiprocessing.shared_memory.SharedMemory` arena:
+
+``[u64 blob length | coords: total_atoms x 3 f64 | symbols:
+total_atoms x S4 | config blob]``
+
+and submits *wire tuples* — ``(arena_name, arena_atoms, atom_offset,
+natoms, index, label, charge, cfg, attempt)`` — to the pool. Plain
+tuples carry no pickled class path, so a task ships in tens of bytes.
+Workers attach the arena by name (once per process, cached), slice
+their atom range, look up config ``cfg`` in the blob, and rebuild an
+equivalent ``FragmentTask``. Coordinates are copied out of the arena
+as float64, so rebuilt tasks are bit-identical to the originals and
+the numerics cannot depend on the transport.
+
+Notes on fidelity:
+
+* Geometry ``labels`` (fragmenter metadata) are intentionally dropped
+  from the transport — nothing downstream of task dispatch reads them,
+  and they are the part of the payload that pickles worst.
+* The arena lives until the parent run completes; the parent closes
+  and unlinks it in a ``finally`` block, so a crashed run cannot leak
+  ``/dev/shm`` segments past the owning process.
+
+Counters (see docs/performance.md): ``executor.shm.tasks``,
+``executor.shm.payload_bytes`` (wire-tuple pickle sizes),
+``executor.shm.arena_bytes`` (arena allocations),
+``executor.shm.worker_attaches``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.geometry.atoms import Geometry
+from repro.obs.counters import counters
+
+__all__ = [
+    "SHM_ENV",
+    "SYMBOL_WIDTH",
+    "ShmTaskDescriptor",
+    "TaskArena",
+    "shm_enabled",
+    "pack_tasks",
+    "rebuild_task",
+    "release_worker_arenas",
+]
+
+SHM_ENV = "QF_SHM"
+
+#: fixed symbol field width; longest element symbols are 3 characters
+SYMBOL_WIDTH = 4
+
+_HEADER = struct.Struct("<Q")   # config-blob byte length
+
+
+def shm_enabled() -> bool:
+    """Shared-memory dispatch toggle: ``QF_SHM`` env, default on."""
+    return os.environ.get(SHM_ENV, "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+#: run-constant FragmentTask fields factored out of the per-task wire
+#: payload into the arena's config blob
+CONFIG_FIELDS = (
+    "delta", "compute_raman", "compute_ir", "basis_name", "eri_mode",
+    "schwarz_cutoff",
+)
+
+
+@dataclass(frozen=True)
+class ShmTaskDescriptor:
+    """Index-only stand-in for a ``FragmentTask``.
+
+    ``atom_offset``/``natoms`` select the task's atom range inside the
+    arena; ``cfg`` indexes the run's distinct config tuples in the
+    arena blob. On the wire this travels as a plain tuple
+    (:meth:`to_wire`) so no class path is pickled per task.
+    """
+
+    arena_name: str
+    #: total atoms in the arena — the region offsets depend on it, so
+    #: the attaching side must know the creator's layout
+    arena_atoms: int
+    atom_offset: int
+    natoms: int
+    index: int
+    label: str
+    charge: int
+    cfg: int
+    attempt: int
+
+    def to_wire(self) -> tuple:
+        return (
+            self.arena_name, self.arena_atoms, self.atom_offset,
+            self.natoms, self.index, self.label, self.charge, self.cfg,
+            self.attempt,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "ShmTaskDescriptor":
+        return cls(*wire)
+
+
+class TaskArena:
+    """One shared-memory block holding the bulk payload of a run.
+
+    The creating process owns the segment and must call :meth:`close`
+    (which unlinks); attached processes only map it.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, total_atoms: int,
+                 owner: bool):
+        self.shm = shm
+        self.total_atoms = total_atoms
+        self.owner = owner
+        blob_len = _HEADER.unpack_from(shm.buf, 0)[0]
+        coords_off = _HEADER.size
+        sym_off = coords_off + total_atoms * 3 * 8
+        blob_off = sym_off + total_atoms * SYMBOL_WIDTH
+        self.coords = np.ndarray(
+            (total_atoms, 3), dtype=np.float64, buffer=shm.buf,
+            offset=coords_off,
+        )
+        self.symbols = np.ndarray(
+            (total_atoms,), dtype=f"S{SYMBOL_WIDTH}",
+            buffer=shm.buf, offset=sym_off,
+        )
+        self.configs: list[tuple] = (
+            pickle.loads(bytes(shm.buf[blob_off: blob_off + blob_len]))
+            if blob_len else []
+        )
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.shm.size
+
+    @classmethod
+    def create(cls, total_atoms: int, configs: list[tuple]) -> "TaskArena":
+        blob = pickle.dumps(configs, protocol=pickle.HIGHEST_PROTOCOL)
+        nbytes = (_HEADER.size + total_atoms * (3 * 8 + SYMBOL_WIDTH)
+                  + len(blob))
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        _HEADER.pack_into(shm.buf, 0, len(blob))
+        blob_off = _HEADER.size + total_atoms * (3 * 8 + SYMBOL_WIDTH)
+        shm.buf[blob_off: blob_off + len(blob)] = blob
+        return cls(shm, total_atoms, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, total_atoms: int) -> "TaskArena":
+        # attaching must not (re-)register the segment with the resource
+        # tracker: workers share the parent's tracker process, so a
+        # register+unregister round-trip from a worker would erase the
+        # creator's registration and the unlink at close would then trip
+        # a tracker KeyError (cpython gh-82300). Suppress registration
+        # for the duration of the attach instead — only the creator
+        # tracks (and unlinks) the segment.
+        orig_register = resource_tracker.register
+
+        def _no_shm_register(rname, rtype):
+            if rtype != "shared_memory":
+                orig_register(rname, rtype)
+
+        resource_tracker.register = _no_shm_register
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+        return cls(shm, total_atoms, owner=False)
+
+    def close(self) -> None:
+        # drop the numpy views before closing the mapping, else
+        # SharedMemory.close() raises BufferError on exported pointers
+        self.coords = None
+        self.symbols = None
+        self.shm.close()
+        if self.owner:
+            self.shm.unlink()
+
+
+def pack_tasks(tasks) -> tuple[TaskArena, list[ShmTaskDescriptor]]:
+    """Pack the tasks' geometries + configs into an arena + descriptors."""
+    total_atoms = sum(t.geometry.natoms for t in tasks)
+    configs: list[tuple] = []
+    cfg_ids: dict[tuple, int] = {}
+    entries = []
+    cursor = 0
+    for task in tasks:
+        cfg = tuple(getattr(task, f) for f in CONFIG_FIELDS)
+        cid = cfg_ids.get(cfg)
+        if cid is None:
+            cid = cfg_ids[cfg] = len(configs)
+            configs.append(cfg)
+        entries.append((task, cursor, cid))
+        cursor += task.geometry.natoms
+    arena = TaskArena.create(total_atoms, configs)
+    descriptors: list[ShmTaskDescriptor] = []
+    for task, offset, cid in entries:
+        geom = task.geometry
+        n = geom.natoms
+        arena.coords[offset: offset + n] = geom.coords
+        arena.symbols[offset: offset + n] = np.asarray(
+            geom.symbols, dtype=f"S{SYMBOL_WIDTH}"
+        )
+        descriptors.append(
+            ShmTaskDescriptor(
+                arena_name=arena.name,
+                arena_atoms=total_atoms,
+                atom_offset=offset,
+                natoms=n,
+                index=task.index,
+                label=task.label,
+                charge=geom.charge,
+                cfg=cid,
+                attempt=task.attempt,
+            )
+        )
+    reg = counters()
+    reg.inc("executor.shm.tasks", len(descriptors))
+    reg.inc("executor.shm.arena_bytes", arena.nbytes)
+    reg.inc(
+        "executor.shm.payload_bytes",
+        sum(len(pickle.dumps(d.to_wire())) for d in descriptors),
+    )
+    return arena, descriptors
+
+
+# worker-side arena attachments, one per arena name per process; they
+# stay mapped for the worker's lifetime (the parent unlinks the
+# underlying segment, which POSIX keeps alive until the last unmap)
+_WORKER_ARENAS: dict[str, TaskArena] = {}
+
+
+def _worker_arena(name: str, arena_atoms: int) -> TaskArena:
+    arena = _WORKER_ARENAS.get(name)
+    if arena is None:
+        # a new arena name means a new run: the previous run's arena is
+        # already unlinked by the parent, so unmap stale attachments
+        # rather than accumulate them over a long-lived pool
+        release_worker_arenas()
+        arena = TaskArena.attach(name, arena_atoms)
+        _WORKER_ARENAS[name] = arena
+        counters().inc("executor.shm.worker_attaches")
+    return arena
+
+
+def release_worker_arenas() -> None:
+    """Unmap every cached worker attachment (tests; idempotent)."""
+    for arena in _WORKER_ARENAS.values():
+        arena.close()
+    _WORKER_ARENAS.clear()
+
+
+def rebuild_task(wire: "tuple | ShmTaskDescriptor"):
+    """Reconstruct a ``FragmentTask`` from its wire form + the arena.
+
+    The coordinate slice is copied out of the mapping (float64 in,
+    float64 out — bit-identical), so the task's lifetime is independent
+    of the arena's.
+    """
+    from repro.pipeline.executor import FragmentTask  # deferred: avoid cycle
+
+    desc = wire if isinstance(wire, ShmTaskDescriptor) \
+        else ShmTaskDescriptor.from_wire(wire)
+    end = desc.atom_offset + desc.natoms
+    arena = _worker_arena(desc.arena_name, desc.arena_atoms)
+    coords = np.array(arena.coords[desc.atom_offset: end], dtype=np.float64)
+    symbols = [s.decode("ascii") for s in arena.symbols[desc.atom_offset: end]]
+    geometry = Geometry(symbols=symbols, coords=coords, charge=desc.charge)
+    cfg = dict(zip(CONFIG_FIELDS, arena.configs[desc.cfg]))
+    return FragmentTask(
+        index=desc.index,
+        label=desc.label,
+        geometry=geometry,
+        attempt=desc.attempt,
+        **cfg,
+    )

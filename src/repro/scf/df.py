@@ -23,6 +23,7 @@ import scipy.linalg
 
 from repro.basis.gaussian import BasisSet, make_shell
 from repro.geometry.atoms import Geometry
+from repro.integrals.batched import scatter_pairs_aux
 from repro.integrals.engine import IntegralEngine, single_shell_blocks
 
 
@@ -145,7 +146,10 @@ class DensityFitting:
                 # vals: (npb, na, nb, npk, nc, 1)
                 na, nb = vals.shape[1], vals.shape[2]
                 nc = vals.shape[4]
-                for rb in range(bra.npair):
+                if self.engine.kernels == "batched":
+                    scatter_pairs_aux(out, bra, ket, vals[:, :, :, :, :, 0])
+                    continue
+                for rb in range(bra.npair):  # qf: shell-loop — scalar reference scatter
                     oa, ob = bra.off_a[rb], bra.off_b[rb]
                     for rk in range(ket.npair):
                         oc = ket.off_a[rk]
@@ -158,6 +162,11 @@ class DensityFitting:
         return out
 
     def _build_2c(self) -> np.ndarray:
+        # Deliberately scalar in both kernel modes: on the bra==ket
+        # diagonal both (rb, rk) and (rk, rb) write the same (P, Q) and
+        # (Q, P) entries, so the result depends on this loop's
+        # last-write-wins order — a vectorized fancy-index scatter would
+        # leave the duplicate order undefined.
         out = np.zeros((self.naux, self.naux))
         for i, bra in enumerate(self.aux_blocks):
             for j, ket in enumerate(self.aux_blocks):
@@ -166,7 +175,7 @@ class DensityFitting:
                 vals = self.engine.coulomb_block(bra, ket)
                 na = vals.shape[1]
                 nc = vals.shape[4]
-                for rb in range(bra.npair):
+                for rb in range(bra.npair):  # qf: shell-loop — overlapping-image scatter needs ordered writes
                     oa = bra.off_a[rb]
                     for rk in range(ket.npair):
                         oc = ket.off_a[rk]

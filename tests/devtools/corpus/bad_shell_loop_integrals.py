@@ -1,0 +1,22 @@
+"""QF009 fixture: python-level shell/primitive loops in an integrals path."""
+
+
+def contract(shells, plist):
+    total = 0.0
+    for sh in shells:
+        total += sh.norm
+    for i, j in plist:
+        total += i * j
+    return total
+
+
+def contract_prims(sha, shb):
+    out = 0.0
+    for ca, aa in zip(sha.coefs, sha.exps):
+        out += ca * aa
+    return out
+
+
+def sanctioned(blk, target, vals):
+    for r in range(blk.npair):  # qf: shell-loop — scalar reference scatter
+        target[r] = vals[r]

@@ -25,6 +25,8 @@ EXPECTED = {
                         ("QF006", 18), ("QF006", 22)},
     "bad_pkg/__init__.py": {("QF007", 1)},
     "bad_raw_clock.py": {("QF008", 5), ("QF008", 7), ("QF008", 9)},
+    "bad_shell_loop_integrals.py": {("QF009", 6), ("QF009", 8),
+                                    ("QF009", 15)},
 }
 
 
@@ -146,6 +148,41 @@ def test_raw_clock_other_modules_clocks_not_flagged():
     # are wall-clock provenance stamps, not ad-hoc profiling
     src = "import time\nstamp = time.time()\nmono = time.monotonic()\n"
     assert lint_source(src, path="src/repro/x.py") == []
+
+
+# -- QF009 details --------------------------------------------------------
+
+def test_shell_loop_gated_to_integrals_paths():
+    src = "def f(shells):\n    for sh in shells:\n        pass\n"
+    assert [f.code for f in
+            lint_source(src, path="src/repro/integrals/engine.py")] \
+        == ["QF009"]
+    # the same loop outside the integrals hot path is fine
+    assert lint_source(src, path="src/repro/scf/rhf.py") == []
+
+
+def test_shell_loop_suppression():
+    src = ("def f(shells):\n"
+           "    for sh in shells:  # qf: shell-loop — reference path\n"
+           "        pass\n")
+    assert lint_source(src, path="src/repro/integrals/engine.py") == []
+
+
+def test_shell_loop_attribute_iterables_flagged():
+    src = ("def f(blk, out, vals):\n"
+           "    for r in range(blk.npair):\n"
+           "        out[r] = vals[r]\n")
+    assert [f.code for f in
+            lint_source(src, path="src/repro/integrals/engine.py")] \
+        == ["QF009"]
+
+
+def test_integrals_tree_is_shell_loop_clean():
+    # the zero-findings gate for the real hot path: every scalar loop in
+    # repro.integrals must be either vectorized or annotated
+    root = Path(__file__).resolve().parents[2] / "src" / "repro" / "integrals"
+    findings = [f for f in lint_paths([root]) if f.code == "QF009"]
+    assert findings == [], [str(f) for f in findings]
 
 
 # -- CLI ------------------------------------------------------------------

@@ -1,0 +1,68 @@
+"""End-to-end kernel-mode invariance: spectra are *bit-identical*.
+
+docs/performance.md promises that ``QF_KERNELS=scalar`` and
+``QF_KERNELS=batched`` change dispatch, never arithmetic. The golden
+fixture systems make that checkable end to end: the full pipeline —
+decomposition, SCF, DFPT, assembly, broadening — must produce byte-for-
+byte equal arrays under both modes, and each must still match the
+committed golden files within the standard tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from tests.pipeline.test_golden_spectra import assert_spectrum_matches
+
+
+def _spectrum(golden, name, mode, monkeypatch):
+    monkeypatch.setenv("QF_KERNELS", mode)
+    return golden.compute(name)
+
+
+def test_water1_spectrum_bit_identical_across_kernel_modes(
+        golden, monkeypatch):
+    monkeypatch.setenv("QF_SANITIZE", "1")   # full contract checking on
+    scalar = _spectrum(golden, "water1", "scalar", monkeypatch)
+    batched = _spectrum(golden, "water1", "batched", monkeypatch)
+    assert set(scalar) == set(batched)
+    for key in scalar:
+        np.testing.assert_array_equal(
+            scalar[key], batched[key],
+            err_msg=f"{key} differs between QF_KERNELS modes",
+        )
+    # and both still reproduce the committed golden
+    with np.load(golden.golden_path("water1")) as ref:
+        assert_spectrum_matches(batched, ref)
+
+
+@pytest.mark.slow
+def test_waterbox2_spectrum_bit_identical_across_kernel_modes(
+        golden, monkeypatch):
+    monkeypatch.setenv("QF_SANITIZE", "1")
+    scalar = _spectrum(golden, "waterbox2", "scalar", monkeypatch)
+    batched = _spectrum(golden, "waterbox2", "batched", monkeypatch)
+    for key in scalar:
+        np.testing.assert_array_equal(
+            scalar[key], batched[key],
+            err_msg=f"{key} differs between QF_KERNELS modes",
+        )
+    with np.load(golden.golden_path("waterbox2")) as ref:
+        assert_spectrum_matches(batched, ref)
+
+
+def test_batched_fragment_under_sanitizer(monkeypatch):
+    """Tier-1 smoke: one tiny fragment end to end with the batched
+    kernels and the runtime numerical sanitizer both on."""
+    from repro.geometry import water_molecule
+    from repro.pipeline.executor import FragmentTask, make_executor
+
+    monkeypatch.setenv("QF_KERNELS", "batched")
+    monkeypatch.setenv("QF_SANITIZE", "1")
+    task = FragmentTask(index=0, label="smoke", geometry=water_molecule(),
+                        compute_raman=True, eri_mode="exact")
+    with make_executor("serial") as ex:
+        responses, report = ex.run([task])
+    resp = responses[0]
+    assert report.n_tasks == 1
+    assert np.isfinite(resp.hessian).all()
+    assert np.isfinite(resp.dalpha_dr).all()

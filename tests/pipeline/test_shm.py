@@ -1,0 +1,184 @@
+"""Shared-memory task transport (repro.pipeline.shm).
+
+The arena/wire-tuple protocol replaces whole-``FragmentTask`` pickles
+on the process backend. The contracts: rebuilt tasks are bit-identical
+to the originals (the transport may never touch the numbers), the wire
+payload is an order of magnitude smaller than the pickled task, arenas
+are cleaned up, and the executor produces identical responses with the
+transport on and off.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.geometry import water_box
+from repro.obs.counters import counters
+from repro.pipeline.executor import FragmentTask, make_executor
+from repro.pipeline.shm import (
+    CONFIG_FIELDS,
+    ShmTaskDescriptor,
+    TaskArena,
+    pack_tasks,
+    rebuild_task,
+    release_worker_arenas,
+    shm_enabled,
+)
+
+PAYLOAD_TARGET = 10.0
+
+
+def _tasks(n=4, **overrides):
+    waters = water_box(n, seed=3)
+    return [
+        FragmentTask(index=k, label=f"water-{k}", geometry=w,
+                     compute_raman=False, eri_mode="exact", **overrides)
+        for k, w in enumerate(waters)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _clean_worker_cache():
+    yield
+    release_worker_arenas()
+
+
+def test_pack_rebuild_bit_identical():
+    tasks = _tasks()
+    arena, descs = pack_tasks(tasks)
+    try:
+        for task, desc in zip(tasks, descs):
+            rebuilt = rebuild_task(desc.to_wire())
+            assert rebuilt.index == task.index
+            assert rebuilt.label == task.label
+            assert rebuilt.attempt == task.attempt
+            assert rebuilt.geometry.symbols == list(task.geometry.symbols)
+            assert rebuilt.geometry.charge == task.geometry.charge
+            # bitwise, not allclose: the transport may not perturb ULPs
+            np.testing.assert_array_equal(
+                rebuilt.geometry.coords, task.geometry.coords
+            )
+            assert rebuilt.geometry.coords.dtype == np.float64
+            for f in CONFIG_FIELDS:
+                assert getattr(rebuilt, f) == getattr(task, f), f
+    finally:
+        release_worker_arenas()
+        arena.close()
+
+
+def test_rebuilt_coords_survive_arena_close():
+    tasks = _tasks(1)
+    arena, descs = pack_tasks(tasks)
+    rebuilt = rebuild_task(descs[0])
+    release_worker_arenas()
+    arena.close()
+    # the copy must be independent of the (now unlinked) mapping
+    np.testing.assert_array_equal(
+        rebuilt.geometry.coords, tasks[0].geometry.coords
+    )
+
+
+def test_wire_payload_reduction():
+    tasks = _tasks(8)
+    arena, descs = pack_tasks(tasks)
+    try:
+        pickled = np.mean([len(pickle.dumps(t)) for t in tasks])
+        wire = np.mean([len(pickle.dumps(d.to_wire())) for d in descs])
+    finally:
+        arena.close()
+    assert pickled / wire >= PAYLOAD_TARGET, (
+        f"shm wire payload only {pickled / wire:.1f}x smaller "
+        f"({pickled:.0f} B -> {wire:.0f} B)"
+    )
+
+
+def test_configs_deduplicated():
+    tasks = _tasks(6)
+    arena, descs = pack_tasks(tasks)
+    try:
+        # every task shares one run config -> exactly one blob entry
+        assert len(arena.configs) == 1
+        assert all(d.cfg == 0 for d in descs)
+    finally:
+        arena.close()
+
+
+def test_distinct_configs_kept_apart():
+    tasks = _tasks(2) + _tasks(2, delta=1.0e-3)
+    arena, descs = pack_tasks(tasks)
+    try:
+        assert len(arena.configs) == 2
+        rebuilt = [rebuild_task(d.to_wire()) for d in descs]
+        assert [t.delta for t in rebuilt] == [t.delta for t in tasks]
+    finally:
+        release_worker_arenas()
+        arena.close()
+
+
+def test_wire_tuple_roundtrip():
+    tasks = _tasks(1)
+    arena, descs = pack_tasks(tasks)
+    try:
+        wire = descs[0].to_wire()
+        assert isinstance(wire, tuple)
+        assert ShmTaskDescriptor.from_wire(wire) == descs[0]
+    finally:
+        arena.close()
+
+
+def test_arena_unlinked_on_close():
+    tasks = _tasks(1)
+    arena, _ = pack_tasks(tasks)
+    name = arena.name
+    assert os.path.exists(f"/dev/shm/{name}")
+    arena.close()
+    assert not os.path.exists(f"/dev/shm/{name}")
+
+
+def test_attach_does_not_steal_creator_registration():
+    tasks = _tasks(1)
+    arena, _ = pack_tasks(tasks)
+    attached = TaskArena.attach(arena.name, arena.total_atoms)
+    np.testing.assert_array_equal(attached.coords, arena.coords)
+    attached.close()          # non-owner: close only, no unlink
+    assert os.path.exists(f"/dev/shm/{arena.name}")
+    arena.close()
+    assert not os.path.exists(f"/dev/shm/{arena.name}")
+
+
+def test_shm_enabled_env(monkeypatch):
+    monkeypatch.delenv("QF_SHM", raising=False)
+    assert shm_enabled()
+    for off in ("0", "off", "false", "NO"):
+        monkeypatch.setenv("QF_SHM", off)
+        assert not shm_enabled()
+    monkeypatch.setenv("QF_SHM", "1")
+    assert shm_enabled()
+
+
+def test_pack_counters():
+    reg = counters()
+    before = reg.get("executor.shm.tasks")
+    tasks = _tasks(3)
+    arena, _ = pack_tasks(tasks)
+    arena.close()
+    assert reg.get("executor.shm.tasks") == before + 3
+    assert reg.get("executor.shm.payload_bytes") > 0
+    assert reg.get("executor.shm.arena_bytes") > 0
+
+
+@pytest.mark.slow
+def test_executor_identical_with_and_without_shm(monkeypatch):
+    tasks = _tasks(2)
+    results = {}
+    for mode in ("1", "0"):
+        monkeypatch.setenv("QF_SHM", mode)
+        with make_executor("process", max_workers=2) as ex:
+            responses, _ = ex.run(tasks)
+        results[mode] = responses
+    for k in range(len(tasks)):
+        np.testing.assert_array_equal(
+            results["1"][k].hessian, results["0"][k].hessian
+        )
