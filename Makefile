@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: lint test test-all sanitize-smoke trace-demo faults-demo \
-	test-faults coverage-gate bench-kernels
+	test-faults test-canonical coverage-gate bench-kernels
 
 # QF physics-aware linter (docs/static_analysis.md); fails on any new
 # unsuppressed finding — the same zero-findings bar the tier-1 test
@@ -56,6 +56,17 @@ test-faults:
 	QF_SANITIZE=1 $(PYTHON) -m pytest -x -q \
 		tests/pipeline/test_resilience.py \
 		tests/pipeline/test_runstore_properties.py
+
+# the canonical-cache invariance harness with the sanitizer on,
+# INCLUDING the slow split (-m "" re-selects @pytest.mark.slow, e.g.
+# the 500-example exhaustive key-invariance property) and the golden
+# rigid-vs-off equivalence gate (docs/caching.md)
+test-canonical:
+	QF_SANITIZE=1 $(PYTHON) -m pytest -x -q -m "" \
+		tests/pipeline/test_canonical_properties.py \
+		tests/pipeline/test_canonical_degenerate.py \
+		tests/pipeline/test_canonical_store.py \
+		tests/pipeline/test_golden_spectra.py
 
 # scalar-vs-batched integral kernel timings by angular class + the
 # per-task dispatch payload comparison; writes

@@ -82,6 +82,36 @@ def payload_comparison(tasks) -> dict:
     }
 
 
+def canonical_comparison(tasks, responses) -> dict:
+    """Canonical-cache effectiveness on the rigid-copy workload.
+
+    Stores one representative response, then looks up every fragment:
+    all copies are the same water under rigid motions, so the rigid
+    store must answer each from the single entry (hit rate 1.0). The
+    per-hit wall clock is the full load + validate + rotate-back path
+    — the cost that replaces a QM fragment run."""
+    import tempfile
+
+    from repro.pipeline.canonical import CanonicalStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CanonicalStore(tmp, mode="rigid")
+        t0 = time.perf_counter()
+        store.store_task(tasks[0], responses[0])
+        store_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for task in tasks:
+            store.load_task(task)
+        load_wall = time.perf_counter() - t0
+        stats = store.stats()
+    return {
+        **stats,
+        "store_wall_s": store_wall,
+        "load_wall_s": load_wall,
+        "rotate_back_ms_per_hit": 1e3 * load_wall / max(stats["hits"], 1),
+    }
+
+
 def run_comparison() -> dict:
     from repro.pipeline.executor import make_executor
 
@@ -124,6 +154,7 @@ def run_comparison() -> dict:
         "process_worker_utilization": par_report.worker_utilization,
         "max_hessian_deviation": max_dev,
         "task_payload": payload_comparison(tasks),
+        "canonical_cache": canonical_comparison(tasks, ser),
         "serial_report": ser_report.as_dict(),
         "process_report": par_report.as_dict(),
     }
@@ -134,6 +165,10 @@ def run_comparison() -> dict:
     print(f"  payload/task: {tp['pickled_bytes_per_task']:.0f} B pickled -> "
           f"{tp['shm_wire_bytes_per_task']:.0f} B shm wire "
           f"(x{tp['payload_reduction']:.1f} smaller)")
+    cc = payload["canonical_cache"]
+    print(f"  canonical cache: {cc['hits']}/{cc['hits'] + cc['misses']} "
+          f"hits (rate {cc['hit_rate']:.2f}), "
+          f"{cc['rotate_back_ms_per_hit']:.1f} ms per rotate-back hit")
     # canonical artifact name: lowercase bench_*, matching every other
     # benchmark output in benchmarks/output/
     save_result("bench_parallel_pipeline", payload)
@@ -149,6 +184,10 @@ def test_parallel_pipeline_benchmark():
     # the shm transport must beat whole-task pickling by an order of
     # magnitude regardless of core count
     assert payload["task_payload"]["payload_reduction"] >= PAYLOAD_TARGET
+    # the rigid canonical store must collapse the whole rigid-copy
+    # workload onto its single stored entry
+    assert payload["canonical_cache"]["hit_rate"] == 1.0
+    assert payload["canonical_cache"]["writes"] == 1
     # the >= 2x target needs real cores; on a single visible core the
     # pool can only add overhead, so the verdict gates on the hardware
     if payload["visible_cores"] >= WORKERS:

@@ -7,6 +7,12 @@ Lanczos/GAGQ solver. Also exposes the bridge that maps a decomposition
 onto the simulated supercomputers for timing studies.
 """
 
+from repro.pipeline.canonical import (
+    CanonicalStore,
+    canon_mode,
+    canonical_key,
+    canonicalize,
+)
 from repro.pipeline.executor import (
     FragmentExecutor,
     FragmentExecutorError,
@@ -29,6 +35,10 @@ from repro.pipeline.rigid import kabsch_rotation, rotate_response
 __all__ = [
     "PipelineResult",
     "QFRamanPipeline",
+    "CanonicalStore",
+    "canon_mode",
+    "canonical_key",
+    "canonicalize",
     "FragmentExecutor",
     "FragmentExecutorError",
     "FragmentTask",

@@ -129,13 +129,31 @@ def write_npz_atomic(path: Path, payload: dict[str, np.ndarray]) -> Path:
 
 
 class ResponseCache:
-    """Directory-backed store of fragment responses."""
+    """Directory-backed store of fragment responses.
 
-    def __init__(self, directory: str | Path):
+    Keyed by exact geometry. With a canonical mode other than ``off``
+    (``canonical=`` argument, default from ``QF_CANON``) the directory
+    additionally holds a rigid-motion canonical store
+    (:class:`repro.pipeline.canonical.CanonicalStore`): an exact miss
+    falls back to the canonical entry of the same fragment class —
+    rotated copies of an already-cached geometry hit instead of
+    recomputing — and every store also writes the canonical entry.
+    """
+
+    def __init__(self, directory: str | Path,
+                 canonical: str | None = None):
+        from repro.pipeline.canonical import CANON_OFF, CanonicalStore, \
+            canon_mode
+
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        mode = canon_mode() if canonical is None else canonical
+        self.canonical = (
+            CanonicalStore(self.directory, mode=mode)
+            if mode != CANON_OFF else None
+        )
 
     def _path(self, key: str) -> Path:
         return self.directory / f"resp_{key}.npz"
@@ -144,6 +162,12 @@ class ResponseCache:
              ) -> FragmentResponse | None:
         path = self._path(response_key(geometry, basis_name, delta))
         if not path.exists():
+            if self.canonical is not None:
+                stored = self.canonical.load(geometry, basis_name, delta)
+                if stored is not None:
+                    self.hits += 1
+                    counters().inc("cache.hits")
+                    return stored
             self.misses += 1
             counters().inc("cache.misses")
             return None
@@ -155,6 +179,9 @@ class ResponseCache:
     def store(self, response: FragmentResponse, basis_name: str,
               delta: float) -> Path:
         key = response_key(response.geometry, basis_name, delta)
+        if self.canonical is not None:
+            self.canonical.store(response.geometry, response, basis_name,
+                                 delta)
         return write_npz_atomic(self._path(key), response_payload(response))
 
     def __len__(self) -> int:

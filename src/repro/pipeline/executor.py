@@ -556,6 +556,7 @@ def make_executor(
     chunksize: int = 1,
     resilience=None,
     run_store=None,
+    canonical: str | None = None,
 ) -> FragmentExecutor:
     """Instantiate an executor backend by name.
 
@@ -566,6 +567,10 @@ def make_executor(
     the defaults) and/or a ``run_store`` directory wraps the backend in
     the fault-tolerant :class:`~repro.pipeline.resilience.ResilientExecutor`
     (retries, timeouts, checkpoint/resume; see docs/resilience.md).
+    ``canonical`` selects the run store's rigid-motion cache mode
+    (``off``/``exact``/``rigid``; default resolves ``QF_CANON`` — see
+    docs/caching.md) and is ignored when ``run_store`` is already a
+    :class:`~repro.pipeline.resilience.RunStore` instance.
     """
     if backend not in _BACKENDS:
         raise ValueError(
@@ -582,7 +587,7 @@ def make_executor(
             )
         return ResilientExecutor(
             base=backend, max_workers=max_workers, policy=policy,
-            store=run_store,
+            store=run_store, canonical=canonical,
         )
     cls = _BACKENDS[backend]
     if cls is ProcessExecutor:

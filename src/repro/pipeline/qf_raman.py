@@ -72,6 +72,9 @@ class PipelineResult:
     #: exhausted a fragment's retries (their ``responses`` entries are
     #: None and the spectrum is a flagged partial result)
     skipped_fragments: list[str] = field(default_factory=list)
+    #: rigid-motion canonical-cache accounting (hits/misses/rotations/
+    #: hit_rate) when the run used one — flows into the RunManifest
+    canonical: dict | None = None
 
     @property
     def natoms(self) -> int:
@@ -105,6 +108,8 @@ class QFRamanPipeline:
         schwarz_cutoff: float = 1.0e-12,
         resilience=None,
         run_store=None,
+        canonical_cache: str | None = None,
+        canonical_mode: str | None = None,
     ):
         if protein is None and not waters:
             raise ValueError("pipeline needs a protein, waters, or both")
@@ -145,11 +150,34 @@ class QFRamanPipeline:
         self.skipped_fragments: list[str] = []
         self.throughput: ThroughputReport | None = None
         self.timer = Timer()
+        #: rigid-motion canonical cache (docs/caching.md): a persistent
+        #: global store shared across runs — rotated copies of an
+        #: already-stored fragment hit instead of recomputing. The mode
+        #: (off|exact|rigid) comes from ``canonical_mode``, else
+        #: ``QF_CANON``, else ``rigid`` when a store directory is given.
+        from repro.pipeline.canonical import (
+            CANON_OFF,
+            CANON_RIGID,
+            CanonicalStore,
+            canon_mode,
+        )
+
+        self._canonical_param = canonical_mode
+        if canonical_mode is None:
+            canonical_mode = canon_mode(
+                default=CANON_RIGID if canonical_cache else CANON_OFF
+            )
+        self.canonical_mode = canonical_mode
+        self.canonical = None
+        if canonical_cache is not None and canonical_mode != CANON_OFF:
+            self.canonical = CanonicalStore(canonical_cache,
+                                            mode=canonical_mode)
         self.cache = None
         if cache_dir is not None:
             from repro.pipeline.cache import ResponseCache
 
-            self.cache = ResponseCache(cache_dir)
+            self.cache = ResponseCache(cache_dir,
+                                       canonical=self._canonical_param)
 
     # -- steps -----------------------------------------------------------------
 
@@ -206,6 +234,20 @@ class QFRamanPipeline:
                     if sig is not None:
                         rep[sig] = k
                     continue
+            if self.canonical is not None:
+                stored = self.canonical.load(
+                    piece.geometry, self.basis_name, self.delta,
+                    compute_raman=self.compute_raman,
+                    eri_mode=self.eri_mode,
+                    schwarz_cutoff=self.schwarz_cutoff,
+                )
+                if stored is not None and (
+                    not self.compute_raman or stored.dalpha_dr is not None
+                ):
+                    plan.append(("cached", stored))
+                    if sig is not None:
+                        rep[sig] = k
+                    continue
             plan.append(("compute",))
             tasks.append(
                 FragmentTask(
@@ -229,7 +271,8 @@ class QFRamanPipeline:
             executor = (
                 make_executor(self.executor, max_workers=self.max_workers,
                               resilience=self.resilience,
-                              run_store=self.run_store)
+                              run_store=self.run_store,
+                              canonical=self._canonical_param)
                 if owns_executor else self.executor
             )
             self._log(
@@ -264,6 +307,13 @@ class QFRamanPipeline:
                     resp = computed.get(task.index)
                     if resp is not None:
                         self.cache.store(resp, self.basis_name, self.delta)
+            if self.canonical is not None:
+                # populate the global store: one canonical entry per
+                # fragment class, hit by every rigid copy in later runs
+                for task in tasks:
+                    resp = computed.get(task.index)
+                    if resp is not None:
+                        self.canonical.store_task(task, resp)
 
         # -- assemble in decomposition order ----------------------------------
         # a fault-tolerant run under skip_and_report may come back with
@@ -400,6 +450,8 @@ class QFRamanPipeline:
             timer=self.timer,
             throughput=self.throughput,
             skipped_fragments=list(self.skipped_fragments),
+            canonical=(self.canonical.stats()
+                       if self.canonical is not None else None),
         )
 
     def workload_sizes(self, decomposition: QFDecomposition | None = None

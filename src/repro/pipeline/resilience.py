@@ -160,11 +160,31 @@ class RunStore:
     bitwise for float64 payloads, so a resumed run reproduces the
     uninterrupted spectrum exactly. Stray ``*.tmp.npz`` files from a
     crash mid-write are ignored by :meth:`load`.
+
+    With a canonical mode other than ``off`` (``canonical=`` argument,
+    default from ``QF_CANON``) the store doubles as a rigid-motion
+    global cache: every checkpoint is also written under its canonical
+    key (``canon_<key>.npz``, :class:`repro.pipeline.canonical.CanonicalStore`),
+    and a task missing its exact checkpoint falls back to the canonical
+    entry — so a *different* run over rotated copies of the same
+    fragments resumes from this store too. Exact checkpoints are always
+    consulted first, which keeps same-run resume bit-identical; a
+    canonical fallback hit is exact physics but rotated floating point
+    (tolerance-identical spectra; see ``docs/caching.md``).
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path,
+                 canonical: str | None = None):
+        from repro.pipeline.canonical import CANON_OFF, CanonicalStore, \
+            canon_mode
+
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        mode = canon_mode() if canonical is None else canonical
+        self.canonical = (
+            CanonicalStore(self.directory, mode=mode)
+            if mode != CANON_OFF else None
+        )
 
     def key_for(self, task: FragmentTask) -> str:
         return task_key(
@@ -179,6 +199,8 @@ class RunStore:
     def load(self, task: FragmentTask) -> FragmentResponse | None:
         path = self._path(self.key_for(task))
         if not path.exists():
+            if self.canonical is not None:
+                return self.canonical.load_task(task)
             return None
         data = np.load(path, allow_pickle=False)
         counters().inc("resilience.store_hits")
@@ -187,6 +209,8 @@ class RunStore:
 
     def store(self, task: FragmentTask, response: FragmentResponse) -> Path:
         counters().inc("resilience.store_writes")
+        if self.canonical is not None:
+            self.canonical.store_task(task, response)
         return write_npz_atomic(self._path(self.key_for(task)),
                                 response_payload(response))
 
@@ -267,6 +291,7 @@ class ResilientExecutor(FragmentExecutor):
         max_workers: int | None = None,
         policy: ResiliencePolicy | None = None,
         store: RunStore | str | Path | None = None,
+        canonical: str | None = None,
     ):
         if base not in ("serial", "process", "displacement"):
             raise ValueError(
@@ -278,7 +303,9 @@ class ResilientExecutor(FragmentExecutor):
         self.name = f"resilient+{base}"
         self.policy = policy if policy is not None else ResiliencePolicy()
         if store is not None and not isinstance(store, RunStore):
-            store = RunStore(store)
+            # canonical (QF_CANON by default) additionally keys the
+            # store by rigid-motion class — see RunStore
+            store = RunStore(store, canonical=canonical)
         self.store = store
         self.last_report: ResilienceReport | None = None
         self._pool: ProcessPoolExecutor | None = None

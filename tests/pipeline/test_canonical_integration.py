@@ -1,0 +1,162 @@
+"""Integration of the canonical store with the existing cache layers.
+
+The canonical store rides along three seams — `ResponseCache`,
+`RunStore`, and the pipeline's own global store — and each seam has an
+ordering contract worth pinning: exact entries always win over
+canonical ones (`RunStore` resume stays bit-identical), and the mode
+resolves from the explicit parameter first, then `QF_CANON`, then the
+presence of a store directory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfpt.hessian import FragmentResponse
+from repro.geometry.atoms import Geometry
+from repro.geometry.water import random_rotation
+from repro.pipeline.cache import ResponseCache
+from repro.pipeline.executor import FragmentTask
+from repro.pipeline.resilience import RunStore
+
+
+def _water(i: int = 0) -> Geometry:
+    return Geometry(["O", "H", "H"],
+                    np.array([[0.0, 0.0, 0.0],
+                              [1.8 + 0.01 * i, 0.0, 0.0],
+                              [-0.45, 1.75, 0.0]]))
+
+
+def _rotated(g: Geometry, seed: int = 3) -> Geometry:
+    rng = np.random.default_rng(seed)
+    return Geometry(list(g.symbols),
+                    g.coords @ random_rotation(rng).T
+                    + rng.uniform(-4.0, 4.0, size=3))
+
+
+def _response(g: Geometry, seed: int = 0) -> FragmentResponse:
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal((3 * g.natoms,) * 2)
+    return FragmentResponse(
+        geometry=g, energy=-74.9, hessian=0.5 * (h + h.T),
+        dalpha_dr=rng.standard_normal((3 * g.natoms, 3, 3)),
+        alpha=rng.standard_normal((3, 3)),
+        gradient=rng.standard_normal((g.natoms, 3)),
+        dmu_dr=rng.standard_normal((3 * g.natoms, 3)),
+    )
+
+
+def test_response_cache_rigid_fallback_hits_rotated_copy(tmp_path):
+    cache = ResponseCache(tmp_path, canonical="rigid")
+    g = _water()
+    cache.store(_response(g), "sto-3g", 5.0e-3)
+    copy = _rotated(g)
+    got = cache.load(copy, "sto-3g", 5.0e-3)
+    assert got is not None
+    assert cache.hits == 1
+    # sanity: the rotated-back Hessian has the same spectrum
+    np.testing.assert_allclose(
+        np.sort(np.linalg.eigvalsh(got.hessian)),
+        np.sort(np.linalg.eigvalsh(_response(g).hessian)),
+        atol=1.0e-10,
+    )
+
+
+def test_response_cache_off_mode_misses_rotated_copy(tmp_path):
+    cache = ResponseCache(tmp_path, canonical="off")
+    g = _water()
+    cache.store(_response(g), "sto-3g", 5.0e-3)
+    assert cache.load(_rotated(g), "sto-3g", 5.0e-3) is None
+    assert cache.load(g, "sto-3g", 5.0e-3) is not None
+
+
+def test_run_store_canonical_fallback_and_exact_first(tmp_path):
+    store = RunStore(tmp_path, canonical="rigid")
+    g = _water()
+    task = FragmentTask(index=0, label="w0", geometry=g)
+    resp = _response(g)
+    store.store(task, resp)
+
+    # a rotated copy (a different exact key) hits via the canonical
+    # sidecar — this is what a re-oriented resume looks like
+    moved = FragmentTask(index=1, label="w0'", geometry=_rotated(g))
+    got = store.load(moved)
+    assert got is not None
+    assert store.canonical is not None
+    assert store.canonical.hits == 1
+
+    # the exact frag_ checkpoint wins over the canonical entry: poison
+    # the canonical file and the identical-geometry load is unaffected
+    for p in tmp_path.glob("canon_*.npz"):
+        p.write_bytes(b"\x00poisoned")
+    exact = store.load(task)
+    assert exact is not None
+    np.testing.assert_array_equal(exact.hessian, resp.hessian)
+
+
+def test_run_store_off_by_default(tmp_path, monkeypatch):
+    monkeypatch.delenv("QF_CANON", raising=False)
+    store = RunStore(tmp_path)
+    assert store.canonical is None
+    g = _water()
+    store.store(FragmentTask(index=0, label="w", geometry=g), _response(g))
+    assert store.load(
+        FragmentTask(index=1, label="w'", geometry=_rotated(g))
+    ) is None
+
+
+def test_run_store_mode_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("QF_CANON", "rigid")
+    assert RunStore(tmp_path).canonical is not None
+    monkeypatch.setenv("QF_CANON", "bogus")
+    with pytest.raises(ValueError, match="QF_CANON"):
+        RunStore(tmp_path)
+
+
+def test_pipeline_mode_resolution(tmp_path, monkeypatch):
+    from repro.pipeline import QFRamanPipeline
+
+    monkeypatch.delenv("QF_CANON", raising=False)
+    waters = [_water()]
+
+    # no store directory, no env: off
+    pipe = QFRamanPipeline(waters=waters)
+    assert pipe.canonical_mode == "off" and pipe.canonical is None
+
+    # a store directory implies rigid
+    pipe = QFRamanPipeline(waters=waters,
+                           canonical_cache=str(tmp_path / "a"))
+    assert pipe.canonical_mode == "rigid" and pipe.canonical is not None
+
+    # the env overrides the implied default...
+    monkeypatch.setenv("QF_CANON", "exact")
+    pipe = QFRamanPipeline(waters=waters,
+                           canonical_cache=str(tmp_path / "b"))
+    assert pipe.canonical_mode == "exact"
+
+    # ...and the explicit parameter overrides the env
+    pipe = QFRamanPipeline(waters=waters,
+                           canonical_cache=str(tmp_path / "c"),
+                           canonical_mode="rigid")
+    assert pipe.canonical_mode == "rigid"
+
+    # off with a directory: store stays disabled
+    pipe = QFRamanPipeline(waters=waters,
+                           canonical_cache=str(tmp_path / "d"),
+                           canonical_mode="off")
+    assert pipe.canonical is None
+
+
+def test_cli_flags_parse_and_forward(monkeypatch):
+    from repro.cli import _canonical_kwargs
+
+    class Args:
+        canonical_cache = "runs/canon"
+        canonical = "rigid"
+
+    assert _canonical_kwargs(Args()) == {
+        "canonical_cache": "runs/canon", "canonical_mode": "rigid",
+    }
+    Args.canonical = None
+    assert _canonical_kwargs(Args()) == {"canonical_cache": "runs/canon"}
+    Args.canonical_cache = None
+    assert _canonical_kwargs(Args()) == {}

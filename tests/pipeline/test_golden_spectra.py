@@ -67,6 +67,58 @@ def test_waterbox2_matches_golden(golden, waterbox2_result):
         assert_spectrum_matches(got, ref)
 
 
+def test_waterbox2_canonical_rigid_equivalent_to_off(golden, tmp_path):
+    """The headline equivalence gate for the canonical cache: a cold
+    ``rigid`` run reproduces the golden spectrum within the standard
+    tolerances, and a *warm* rerun over a rigidly transformed copy of
+    the whole box answers entirely from the store — 100% canonical hit
+    rate, zero executed fragments, zero SCF iterations — and still
+    lands on the golden spectrum (frequencies and Raman activities are
+    rotation invariants)."""
+    from repro.geometry.atoms import Geometry
+    from repro.geometry.water import random_rotation, water_box
+    from repro.obs.counters import counters, reset_counters
+    from repro.pipeline import QFRamanPipeline
+
+    store = tmp_path / "canonical"
+
+    # cold run: no hits possible, spectrum must equal the plain one
+    pipe = golden.build_pipeline("waterbox2", canonical_cache=str(store),
+                                 canonical_mode="rigid")
+    cold = pipe.run(omega_cm1=golden.OMEGA_CM1, sigma_cm1=golden.SIGMA_CM1,
+                    solver="dense")
+    with np.load(golden.golden_path("waterbox2")) as ref:
+        assert_spectrum_matches(golden.spectrum_arrays(cold), ref)
+    assert cold.canonical is not None
+    assert cold.canonical["hits"] == 0
+    assert cold.canonical["writes"] == cold.unique_pieces > 0
+
+    # warm run: one proper rigid motion applied to the whole box
+    rng = np.random.default_rng(17)
+    rot = random_rotation(rng)
+    shift = rng.uniform(-8.0, 8.0, size=3)
+    moved = [
+        Geometry(list(w.symbols), w.coords @ rot.T + shift, w.charge,
+                 list(w.labels))
+        for w in water_box(2, seed=3)
+    ]
+    reset_counters()
+    warm = QFRamanPipeline(waters=moved, canonical_cache=str(store),
+                           canonical_mode="rigid").run(
+        omega_cm1=golden.OMEGA_CM1, sigma_cm1=golden.SIGMA_CM1,
+        solver="dense",
+    )
+    assert warm.unique_pieces == 0, "warm run must not execute fragments"
+    assert counters().get("scf.iterations") == 0
+    assert warm.canonical is not None
+    assert warm.canonical["misses"] == 0
+    assert warm.canonical["hits"] > 0
+    assert warm.canonical["hit_rate"] == 1.0
+    assert warm.canonical["rotations"] == warm.canonical["hits"]
+    with np.load(golden.golden_path("waterbox2")) as ref:
+        assert_spectrum_matches(golden.spectrum_arrays(warm), ref)
+
+
 def test_comparator_detects_drift(golden):
     """The tolerance gate actually bites: a 0.1% intensity drift and a
     0.2 cm^-1 frequency shift must both fail."""
